@@ -1,0 +1,248 @@
+package streamcache
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"streamcache/internal/core"
+	"streamcache/internal/experiments"
+	"streamcache/internal/units"
+)
+
+// Benchmarks regenerate every table and figure of the paper. Each bench
+// runs the full experiment per iteration and prints the resulting rows
+// once, so `go test -bench=.` reproduces the evaluation end to end.
+//
+// Scale defaults to experiments.SmallScale (all shapes preserved, ~10x
+// cheaper); set STREAMCACHE_BENCH_SCALE=paper for the full Table 1
+// configuration (5000 objects, 100k requests, 10 runs - several minutes
+// per figure).
+
+func benchScale() experiments.Scale {
+	if os.Getenv("STREAMCACHE_BENCH_SCALE") == "paper" {
+		return experiments.PaperScale()
+	}
+	return experiments.SmallScale()
+}
+
+var printGate sync.Mutex
+var printed = map[string]bool{}
+
+// printTable emits a regenerated table once per process.
+func printTable(t *experiments.Table) {
+	printGate.Lock()
+	defer printGate.Unlock()
+	if printed[t.Name] {
+		return
+	}
+	printed[t.Name] = true
+	fmt.Printf("\n## %s\n", t.Name)
+	if t.Note != "" {
+		fmt.Printf("#  %s\n", t.Note)
+	}
+	for i, h := range t.Header {
+		if i > 0 {
+			fmt.Print(",")
+		}
+		fmt.Print(h)
+	}
+	fmt.Println()
+	// Large tables (raw histograms, time series) are summarized to head
+	// and tail rows in bench output; cmd/figures emits them in full.
+	rows := t.Rows
+	const maxRows = 24
+	if len(rows) > maxRows {
+		for _, row := range rows[:maxRows/2] {
+			printRow(row)
+		}
+		fmt.Printf("... (%d rows elided; run cmd/figures for the full table)\n", len(rows)-maxRows)
+		rows = rows[len(rows)-maxRows/2:]
+	}
+	for _, row := range rows {
+		printRow(row)
+	}
+}
+
+func printRow(row []string) {
+	for i, cell := range row {
+		if i > 0 {
+			fmt.Print(",")
+		}
+		fmt.Print(cell)
+	}
+	fmt.Println()
+}
+
+func benchExperiment(b *testing.B, build func(experiments.Scale) (*experiments.Table, error)) {
+	b.Helper()
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		table, err := build(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(table)
+	}
+}
+
+// BenchmarkTable1WorkloadCharacteristics regenerates Table 1.
+func BenchmarkTable1WorkloadCharacteristics(b *testing.B) {
+	benchExperiment(b, experiments.Table1)
+}
+
+// BenchmarkFigure2BandwidthDistribution regenerates the NLANR bandwidth
+// histogram and CDF from a synthesized proxy log.
+func BenchmarkFigure2BandwidthDistribution(b *testing.B) {
+	benchExperiment(b, experiments.Figure2)
+}
+
+// BenchmarkFigure3BandwidthVariability regenerates the sample-to-mean
+// ratio histogram and CDF.
+func BenchmarkFigure3BandwidthVariability(b *testing.B) {
+	benchExperiment(b, experiments.Figure3)
+}
+
+// BenchmarkFigure4PathTimeSeries regenerates the measured-path bandwidth
+// time series.
+func BenchmarkFigure4PathTimeSeries(b *testing.B) {
+	benchExperiment(b, experiments.Figure4)
+}
+
+// BenchmarkFigure5ConstantBandwidth regenerates the IF/PB/IB comparison
+// under constant bandwidth.
+func BenchmarkFigure5ConstantBandwidth(b *testing.B) {
+	benchExperiment(b, experiments.Figure5)
+}
+
+// BenchmarkFigure6ZipfAlpha regenerates the popularity-skew sweep.
+func BenchmarkFigure6ZipfAlpha(b *testing.B) {
+	benchExperiment(b, experiments.Figure6)
+}
+
+// BenchmarkFigure7NLANRVariability regenerates the high-variability
+// comparison.
+func BenchmarkFigure7NLANRVariability(b *testing.B) {
+	benchExperiment(b, experiments.Figure7)
+}
+
+// BenchmarkFigure8MeasuredVariability regenerates the measured-path
+// variability comparison.
+func BenchmarkFigure8MeasuredVariability(b *testing.B) {
+	benchExperiment(b, experiments.Figure8)
+}
+
+// BenchmarkFigure9EstimatorSweep regenerates the under-estimation factor
+// sweep for the delay objective.
+func BenchmarkFigure9EstimatorSweep(b *testing.B) {
+	benchExperiment(b, experiments.Figure9)
+}
+
+// BenchmarkFigure10ValueConstant regenerates the value-policy comparison
+// under constant bandwidth.
+func BenchmarkFigure10ValueConstant(b *testing.B) {
+	benchExperiment(b, experiments.Figure10)
+}
+
+// BenchmarkFigure11ValueVariable regenerates the value-policy comparison
+// under measured-path variability.
+func BenchmarkFigure11ValueVariable(b *testing.B) {
+	benchExperiment(b, experiments.Figure11)
+}
+
+// BenchmarkFigure12ValueEstimatorSweep regenerates the under-estimation
+// sweep for the value objective.
+func BenchmarkFigure12ValueEstimatorSweep(b *testing.B) {
+	benchExperiment(b, experiments.Figure12)
+}
+
+// BenchmarkAblationEvictionGranularity compares byte-granular vs
+// whole-object eviction (DESIGN.md section 6).
+func BenchmarkAblationEvictionGranularity(b *testing.B) {
+	benchExperiment(b, experiments.AblationEvictionGranularity)
+}
+
+// BenchmarkAblationEstimators compares oracle, EWMA and underestimating
+// bandwidth estimators.
+func BenchmarkAblationEstimators(b *testing.B) {
+	benchExperiment(b, experiments.AblationEstimators)
+}
+
+// BenchmarkCacheOpThroughput measures raw cache Access operations per
+// second (the O(log n) heap cost of Section 2.4).
+func BenchmarkCacheOpThroughput(b *testing.B) {
+	const nObjects = 4096
+	cache, err := core.New(64*units.MB, core.NewPB())
+	if err != nil {
+		b.Fatal(err)
+	}
+	objs := make([]core.Object, nObjects)
+	for i := range objs {
+		size := int64((i%64 + 1)) * 64 * units.KB
+		objs[i] = core.Object{ID: i, Size: size, Duration: 60, Rate: float64(size) / 60, Value: 1}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj := objs[i%nObjects]
+		cache.Access(obj, obj.Rate/2, float64(i))
+	}
+}
+
+// BenchmarkSmoothing measures optimal smoothing over a 10k-frame VBR
+// trace.
+func BenchmarkSmoothing(b *testing.B) {
+	frames := make([]float64, 10000)
+	for i := range frames {
+		frames[i] = float64(500 + (i*7919)%2000)
+		if i%30 == 0 {
+			frames[i] += 8000
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Smooth(frames, 65536); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadGeneration measures Table 1 workload synthesis.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateWorkload(WorkloadConfig{
+			NumObjects:  1000,
+			NumRequests: 20000,
+			Seed:        int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionStreamMerging evaluates batching/patching composed
+// with partial caching (Section 6 future work).
+func BenchmarkExtensionStreamMerging(b *testing.B) {
+	benchExperiment(b, experiments.ExtensionStreamMerging)
+}
+
+// BenchmarkExtensionPartialViewing evaluates GISMO-style partial-viewing
+// sessions.
+func BenchmarkExtensionPartialViewing(b *testing.B) {
+	benchExperiment(b, experiments.ExtensionPartialViewing)
+}
+
+// BenchmarkExtensionActiveProbing evaluates the active Padhye-model
+// prober against oracle estimation.
+func BenchmarkExtensionActiveProbing(b *testing.B) {
+	benchExperiment(b, experiments.ExtensionActiveProbing)
+}
+
+// BenchmarkExtensionBaselines positions LRU/LFU/GreedyDual-Size against
+// the paper's network-aware policies.
+func BenchmarkExtensionBaselines(b *testing.B) {
+	benchExperiment(b, experiments.ExtensionBaselines)
+}

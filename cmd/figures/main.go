@@ -1,0 +1,117 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation as CSV files, one per experiment, plus an index.
+//
+//	figures -out results/            # fast small-scale run
+//	figures -out results/ -scale paper -only figure5,figure9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"streamcache/internal/experiments"
+)
+
+var builders = []struct {
+	key   string
+	file  string
+	build func(experiments.Scale) (*experiments.Table, error)
+}{
+	{"table1", "table1_workload.csv", experiments.Table1},
+	{"figure2", "figure2_bandwidth_distribution.csv", experiments.Figure2},
+	{"figure3", "figure3_bandwidth_variability.csv", experiments.Figure3},
+	{"figure4", "figure4_path_time_series.csv", experiments.Figure4},
+	{"figure5", "figure5_constant_bandwidth.csv", experiments.Figure5},
+	{"figure6", "figure6_zipf_alpha.csv", experiments.Figure6},
+	{"figure7", "figure7_nlanr_variability.csv", experiments.Figure7},
+	{"figure8", "figure8_measured_variability.csv", experiments.Figure8},
+	{"figure9", "figure9_estimator_sweep.csv", experiments.Figure9},
+	{"figure10", "figure10_value_constant.csv", experiments.Figure10},
+	{"figure11", "figure11_value_variable.csv", experiments.Figure11},
+	{"figure12", "figure12_value_estimator_sweep.csv", experiments.Figure12},
+	{"ablation-eviction", "ablation_eviction_granularity.csv", experiments.AblationEvictionGranularity},
+	{"ablation-estimators", "ablation_estimators.csv", experiments.AblationEstimators},
+	{"ext-merging", "extension_stream_merging.csv", experiments.ExtensionStreamMerging},
+	{"ext-partial-viewing", "extension_partial_viewing.csv", experiments.ExtensionPartialViewing},
+	{"ext-active-probing", "extension_active_probing.csv", experiments.ExtensionActiveProbing},
+	{"ext-baselines", "extension_baselines.csv", experiments.ExtensionBaselines},
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out   = flag.String("out", "results", "output directory")
+		scale = flag.String("scale", "small", "experiment scale: small or paper")
+		only  = flag.String("only", "", "comma-separated experiment keys (default: all)")
+		seed  = flag.Int64("seed", 1, "base random seed")
+	)
+	flag.Parse()
+
+	var s experiments.Scale
+	switch *scale {
+	case "small":
+		s = experiments.SmallScale()
+	case "paper":
+		s = experiments.PaperScale()
+	default:
+		return fmt.Errorf("unknown scale %q (want small or paper)", *scale)
+	}
+	s.Seed = *seed
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(k)] = true
+		}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	var index strings.Builder
+	fmt.Fprintf(&index, "# Regenerated %s at scale=%s seed=%d\n", time.Now().Format(time.RFC3339), *scale, *seed)
+	for _, b := range builders {
+		if len(selected) > 0 && !selected[b.key] {
+			continue
+		}
+		start := time.Now()
+		table, err := b.build(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.key, err)
+		}
+		path := filepath.Join(*out, b.file)
+		if err := writeCSV(path, table); err != nil {
+			return fmt.Errorf("%s: %w", b.key, err)
+		}
+		fmt.Printf("%-20s %-45s %5d rows  %v\n", b.key, b.file, len(table.Rows), time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(&index, "%s: %s (%d rows) - %s\n", b.key, b.file, len(table.Rows), table.Name)
+	}
+	return os.WriteFile(filepath.Join(*out, "INDEX.txt"), []byte(index.String()), 0o644)
+}
+
+func writeCSV(path string, t *experiments.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# %s\n", t.Name)
+	if t.Note != "" {
+		fmt.Fprintf(f, "# %s\n", t.Note)
+	}
+	fmt.Fprintln(f, strings.Join(t.Header, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(f, strings.Join(row, ","))
+	}
+	return f.Close()
+}

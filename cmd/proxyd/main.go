@@ -1,0 +1,100 @@
+// Command proxyd runs the acceleration architecture of Figure 1 on two
+// local HTTP ports: a rate-limited origin server and, in front of it,
+// the partial-caching accelerator proxy. The catalog is generated from
+// the Table 1 workload model (scaled down by default).
+//
+//	proxyd -origin-addr :8080 -proxy-addr :8081 -policy PB -cache-mb 256 &
+//	curl -s http://localhost:8081/objects/0 | wc -c
+//	curl -s http://localhost:8081/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"streamcache/internal/core"
+	"streamcache/internal/proxy"
+	"streamcache/internal/units"
+	"streamcache/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "proxyd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		originAddr = flag.String("origin-addr", "127.0.0.1:8080", "origin listen address")
+		proxyAddr  = flag.String("proxy-addr", "127.0.0.1:8081", "proxy listen address")
+		policyName = flag.String("policy", "PB", "cache policy: IF, PB, IB, PB-V, IB-V, LRU, LFU")
+		e          = flag.Float64("e", 0.5, "under-estimation factor for HYBRID policies")
+		cacheMB    = flag.Int64("cache-mb", 256, "proxy cache capacity, MB")
+		objects    = flag.Int("objects", 50, "catalog size")
+		meanKB     = flag.Int64("mean-kb", 2048, "mean object size, KB")
+		rateKBps   = flag.Float64("rate-kbps", 512, "object playback rate, KB/s")
+		originKBps = flag.Float64("origin-kbps", 256, "origin path bandwidth limit, KB/s (0 = unlimited)")
+		seed       = flag.Int64("seed", 1, "random seed for the catalog")
+	)
+	flag.Parse()
+
+	catalog, err := buildCatalog(*objects, *meanKB, *rateKBps, *seed)
+	if err != nil {
+		return err
+	}
+	origin, err := proxy.NewOrigin(catalog, units.KBps(*originKBps))
+	if err != nil {
+		return err
+	}
+	policy, err := core.PolicyByName(*policyName, *e)
+	if err != nil {
+		return err
+	}
+	cache, err := core.New(*cacheMB*units.MB, policy)
+	if err != nil {
+		return err
+	}
+	px, err := proxy.NewProxy(catalog, cache, "http://"+*originAddr)
+	if err != nil {
+		return err
+	}
+
+	errc := make(chan error, 2)
+	go func() {
+		fmt.Printf("origin  listening on %s (path limit %.0f KB/s, %d objects)\n",
+			*originAddr, *originKBps, catalog.Len())
+		errc <- (&http.Server{Addr: *originAddr, Handler: origin, ReadHeaderTimeout: 5 * time.Second}).ListenAndServe()
+	}()
+	go func() {
+		fmt.Printf("proxy   listening on %s (policy %s, cache %d MB)\n",
+			*proxyAddr, policy.Name(), *cacheMB)
+		errc <- (&http.Server{Addr: *proxyAddr, Handler: px, ReadHeaderTimeout: 5 * time.Second}).ListenAndServe()
+	}()
+	return <-errc
+}
+
+// buildCatalog derives object sizes from the Table 1 lognormal model,
+// scaled so the mean object is meanKB.
+func buildCatalog(n int, meanKB int64, rateKBps float64, seed int64) (*proxy.Catalog, error) {
+	w, err := workload.Generate(workload.Config{NumObjects: n, NumRequests: 1, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	meanBytes := float64(w.TotalUniqueBytes()) / float64(n)
+	scale := float64(meanKB*units.KB) / meanBytes
+	rate := units.KBps(rateKBps)
+	metas := make([]proxy.Meta, n)
+	for i, o := range w.Objects {
+		size := int64(float64(o.Size) * scale)
+		if size < 16*units.KB {
+			size = 16 * units.KB
+		}
+		metas[i] = proxy.Meta{ID: o.ID, Size: size, Rate: rate, Value: o.Value}
+	}
+	return proxy.NewCatalog(metas)
+}

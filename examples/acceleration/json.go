@@ -1,0 +1,11 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// jsonDecode decodes an HTTP response body as JSON.
+func jsonDecode(resp *http.Response, v any) error {
+	return json.NewDecoder(resp.Body).Decode(v)
+}

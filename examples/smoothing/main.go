@@ -1,0 +1,71 @@
+// Smoothing: the optimal smoothing substrate the paper assumes for VBR
+// content (Section 2.2, citing Salehi et al.). A bursty MPEG-like frame
+// trace is smoothed against increasing client buffers, showing the peak
+// rate falling to the analytic lower bound and burstiness (rate CoV)
+// collapsing - which is what justifies treating smoothed VBR objects as
+// CBR in the caching model.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"streamcache"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "smoothing:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A synthetic 40-second VBR trace at 24 frames/s: P-frames around
+	// 2 KB with 12x I-frame spikes every 12 frames (GOP structure).
+	rng := rand.New(rand.NewSource(7))
+	frames := make([]float64, 960)
+	for i := range frames {
+		frames[i] = 1500 + rng.Float64()*1000
+		// I-frame every 12 frames; the GOP is phase-shifted so the first
+		// deadline is not itself a spike (a first-frame spike must be
+		// delivered in slot 1 and would pin the peak at any buffer size).
+		if i%12 == 6 {
+			frames[i] = 18000 + rng.Float64()*6000
+		}
+	}
+	mean, peak := stats(frames)
+	fmt.Printf("raw trace: %d frames, mean %.0f B/frame, peak %.0f B/frame (%.1fx mean)\n\n",
+		len(frames), mean, peak, peak/mean)
+
+	fmt.Printf("%-12s %-10s %-16s %-10s %-9s\n", "buffer_KB", "segments", "peak_B_per_frame", "peak/mean", "rate_CoV")
+	for _, bufferKB := range []float64{0, 16, 64, 256, 1024} {
+		sched, err := streamcache.Smooth(frames, bufferKB*1024)
+		if err != nil {
+			return err
+		}
+		bound, err := streamcache.MinimalPeakBound(frames, bufferKB*1024)
+		if err != nil {
+			return err
+		}
+		if diff := sched.PeakRate() - bound; diff > 1e-6 || diff < -1e-6 {
+			return fmt.Errorf("buffer %v KB: peak %v != analytic bound %v", bufferKB, sched.PeakRate(), bound)
+		}
+		fmt.Printf("%-12.0f %-10d %-16.0f %-10.2f %-9.3f\n",
+			bufferKB, len(sched.Segments), sched.PeakRate(), sched.PeakRate()/sched.MeanRate(), sched.RateCoV())
+	}
+	fmt.Println("\nEvery schedule's peak equals the analytic minimum (taut-string optimality);")
+	fmt.Println("with a megabyte of client buffer the stream is effectively CBR.")
+	return nil
+}
+
+func stats(frames []float64) (mean, peak float64) {
+	for _, f := range frames {
+		mean += f
+		if f > peak {
+			peak = f
+		}
+	}
+	return mean / float64(len(frames)), peak
+}

@@ -1,0 +1,131 @@
+package bandwidth
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Estimator produces the bandwidth estimate b_i that the caching
+// algorithms consume (Section 2.7). Implementations may be passive
+// (observing completed transfers) or act as oracles in simulation.
+type Estimator interface {
+	// Estimate returns the current bandwidth estimate in bytes/s, or 0
+	// if no estimate is available yet.
+	Estimate() float64
+	// Observe feeds one measured throughput sample (bytes/s).
+	Observe(sample float64)
+}
+
+// Static is an oracle estimator that always reports a fixed rate; the
+// simulator uses it to model "the cache knows the path's average
+// bandwidth", which is the assumption behind the paper's Figures 5-12.
+type Static struct {
+	Rate float64
+}
+
+// Estimate returns the fixed rate.
+func (s *Static) Estimate() float64 { return s.Rate }
+
+// Observe is a no-op.
+func (s *Static) Observe(float64) {}
+
+// EWMA is the passive estimator of Section 2.7: it tracks an
+// exponentially weighted moving average of observed transfer throughput.
+// "Such approaches do not introduce additional network overhead, but may
+// not be accurate as bandwidth may change drastically over time."
+type EWMA struct {
+	alpha float64
+	est   float64
+	seen  bool
+}
+
+// NewEWMA builds an EWMA estimator with smoothing factor alpha in (0, 1];
+// larger alpha weights recent samples more.
+func NewEWMA(alpha float64) (*EWMA, error) {
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("%w: EWMA alpha=%v, want in (0,1]", ErrBadParam, alpha)
+	}
+	return &EWMA{alpha: alpha}, nil
+}
+
+// Estimate returns the smoothed estimate (0 before any observation).
+func (e *EWMA) Estimate() float64 {
+	if !e.seen {
+		return 0
+	}
+	return e.est
+}
+
+// Observe folds one throughput sample into the average.
+func (e *EWMA) Observe(sample float64) {
+	if sample <= 0 || math.IsNaN(sample) {
+		return
+	}
+	if !e.seen {
+		e.est = sample
+		e.seen = true
+		return
+	}
+	e.est = e.alpha*sample + (1-e.alpha)*e.est
+}
+
+// Underestimator wraps another estimator and scales its output by a
+// constant e in [0, 1] - the over-provisioning heuristic of Section 2.5
+// and the knob swept in Figures 9 and 12 (e=1 behaves like PB, e=0 like
+// IB).
+type Underestimator struct {
+	Inner  Estimator
+	Factor float64
+}
+
+// Estimate returns Factor times the inner estimate.
+func (u *Underestimator) Estimate() float64 { return u.Factor * u.Inner.Estimate() }
+
+// Observe forwards to the inner estimator.
+func (u *Underestimator) Observe(sample float64) { u.Inner.Observe(sample) }
+
+// PadhyeThroughput returns the steady-state TCP throughput predicted by
+// the model of Padhye et al. [22], which Section 2.7 cites as the basis
+// for active bandwidth measurement of TCP-friendly streaming transports:
+//
+//	B = MSS / (RTT*sqrt(2bp/3) + T0*min(1, 3*sqrt(3bp/8))*p*(1+32p^2))
+//
+// with loss probability p, ACKed-packets-per-ACK b, and retransmission
+// timeout T0. The result is bytes/s.
+func PadhyeThroughput(mss int, rtt, rto time.Duration, loss float64, ackedPerACK int) (float64, error) {
+	if mss <= 0 {
+		return 0, fmt.Errorf("%w: mss=%d, want > 0", ErrBadParam, mss)
+	}
+	if rtt <= 0 || rto <= 0 {
+		return 0, fmt.Errorf("%w: rtt=%v rto=%v, want > 0", ErrBadParam, rtt, rto)
+	}
+	if loss <= 0 || loss >= 1 || math.IsNaN(loss) {
+		return 0, fmt.Errorf("%w: loss=%v, want in (0,1)", ErrBadParam, loss)
+	}
+	if ackedPerACK <= 0 {
+		return 0, fmt.Errorf("%w: ackedPerACK=%d, want > 0", ErrBadParam, ackedPerACK)
+	}
+	b := float64(ackedPerACK)
+	rttSec := rtt.Seconds()
+	rtoSec := rto.Seconds()
+	wait := rttSec * math.Sqrt(2*b*loss/3)
+	toTerm := rtoSec * math.Min(1, 3*math.Sqrt(3*b*loss/8)) * loss * (1 + 32*loss*loss)
+	return float64(mss) / (wait + toTerm), nil
+}
+
+// MathisThroughput returns the simpler inverse-sqrt(p) TCP throughput
+// model ("inversely proportional to the square root of packet loss rate
+// and round-trip time", Section 2.7): B = MSS/RTT * sqrt(3/2) / sqrt(p).
+func MathisThroughput(mss int, rtt time.Duration, loss float64) (float64, error) {
+	if mss <= 0 {
+		return 0, fmt.Errorf("%w: mss=%d, want > 0", ErrBadParam, mss)
+	}
+	if rtt <= 0 {
+		return 0, fmt.Errorf("%w: rtt=%v, want > 0", ErrBadParam, rtt)
+	}
+	if loss <= 0 || loss >= 1 || math.IsNaN(loss) {
+		return 0, fmt.Errorf("%w: loss=%v, want in (0,1)", ErrBadParam, loss)
+	}
+	return float64(mss) / rtt.Seconds() * math.Sqrt(1.5) / math.Sqrt(loss), nil
+}

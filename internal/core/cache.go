@@ -1,0 +1,298 @@
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrBadCache reports an invalid cache construction.
+var ErrBadCache = errors.New("core: invalid cache")
+
+// Option configures optional cache behavior.
+type Option interface {
+	apply(*Cache)
+}
+
+type wholeObjectEvictionOption bool
+
+func (o wholeObjectEvictionOption) apply(c *Cache) { c.wholeEviction = bool(o) }
+
+// WithWholeObjectEviction makes eviction remove entire victim objects
+// instead of shrinking their cached prefix byte-by-byte. Partial (byte
+// granular) eviction is the default because it tracks the fractional
+// knapsack optimum; the whole-object mode exists for the ablation study
+// in DESIGN.md section 6.
+func WithWholeObjectEviction(on bool) Option { return wholeObjectEvictionOption(on) }
+
+// Cache is a partial-caching proxy cache: each object may occupy any
+// prefix of its full size, admission and eviction are driven by the
+// configured Policy's utility, and replacement uses a priority queue
+// (heap) keyed by utility as described in Section 2.4.
+type Cache struct {
+	capacity      int64
+	used          int64
+	policy        Policy
+	entries       map[int]*entry
+	h             entryHeap
+	stats         map[int]*AccessStats
+	wholeEviction bool
+}
+
+// New builds a cache with the given capacity in bytes and policy.
+func New(capacity int64, policy Policy, opts ...Option) (*Cache, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("%w: capacity=%d, want >= 0", ErrBadCache, capacity)
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("%w: nil policy", ErrBadCache)
+	}
+	c := &Cache{
+		capacity: capacity,
+		policy:   policy,
+		entries:  make(map[int]*entry),
+		stats:    make(map[int]*AccessStats),
+	}
+	for _, o := range opts {
+		o.apply(c)
+	}
+	return c, nil
+}
+
+// Victim records bytes evicted from one object during an access.
+type Victim struct {
+	ID    int
+	Bytes int64
+}
+
+// AccessResult reports what one request observed and caused.
+type AccessResult struct {
+	// HitBytes is the cached prefix size when the request arrived -
+	// the bytes the client could stream from the cache.
+	HitBytes int64
+	// CachedAfter is the cached prefix size after admission/eviction.
+	CachedAfter int64
+	// Target is the policy's desired prefix size for this access.
+	Target int64
+	// EvictedBytes counts bytes evicted from other objects to admit
+	// this one.
+	EvictedBytes int64
+	// Victims lists which objects lost bytes (one entry per object);
+	// byte-store frontends use this to release the evicted data.
+	Victims []Victim
+}
+
+// Access records a request for obj with estimated path bandwidth bw at
+// logical time now, updates the object's frequency and utility, and
+// grows or shrinks its cached prefix toward the policy target, evicting
+// strictly-lower-utility bytes if needed.
+func (c *Cache) Access(obj Object, bw float64, now float64) AccessResult {
+	st := c.stats[obj.ID]
+	if st == nil {
+		st = &AccessStats{}
+		c.stats[obj.ID] = st
+	}
+	st.Freq++
+	st.LastAccess = now
+
+	e := c.entries[obj.ID]
+	res := AccessResult{}
+	if e != nil {
+		res.HitBytes = e.bytes
+	}
+
+	target := c.policy.Target(obj, bw)
+	if target > obj.Size {
+		target = obj.Size
+	}
+	if target < 0 {
+		target = 0
+	}
+	res.Target = target
+	utility := c.policy.Utility(*st, obj, bw)
+
+	// Refresh the existing entry's priority before any space decision.
+	if e != nil {
+		e.utility = utility
+		e.lastAccess = now
+		heap.Fix(&c.h, e.heapIdx)
+	}
+
+	switch {
+	case e != nil && target < e.bytes:
+		// Policy wants less than we hold (e.g. bandwidth improved):
+		// release the excess immediately.
+		c.shrink(e, e.bytes-target)
+	case target > 0:
+		need := target
+		if e != nil {
+			need = target - e.bytes
+		}
+		if need > 0 {
+			res.EvictedBytes, res.Victims = c.makeRoom(need, utility, obj.ID)
+			free := c.capacity - c.used
+			grant := need
+			if grant > free {
+				grant = free
+			}
+			if grant > 0 {
+				if e == nil {
+					e = &entry{obj: obj, utility: utility, lastAccess: now}
+					c.entries[obj.ID] = e
+					heap.Push(&c.h, e)
+				}
+				e.bytes += grant
+				c.used += grant
+			}
+		}
+	}
+	if cur := c.entries[obj.ID]; cur != nil {
+		res.CachedAfter = cur.bytes
+	}
+	return res
+}
+
+// makeRoom evicts bytes from strictly-lower-utility entries until need
+// bytes are free or no eligible victim remains. The requesting object
+// (selfID) is never victimized. It returns the total bytes evicted and
+// the per-object breakdown.
+func (c *Cache) makeRoom(need int64, utility float64, selfID int) (int64, []Victim) {
+	var (
+		evicted int64
+		victims []Victim
+	)
+	for c.capacity-c.used < need && c.h.Len() > 0 {
+		victim := c.h[0]
+		if victim.obj.ID == selfID || victim.utility >= utility {
+			break // nothing strictly cheaper than the requester remains
+		}
+		take := victim.bytes
+		if !c.wholeEviction {
+			shortfall := need - (c.capacity - c.used)
+			if take > shortfall {
+				take = shortfall
+			}
+		}
+		victims = append(victims, Victim{ID: victim.obj.ID, Bytes: take})
+		if obs, ok := c.policy.(EvictionObserver); ok {
+			obs.OnEvict(victim.utility)
+		}
+		c.shrink(victim, take)
+		evicted += take
+	}
+	return evicted, victims
+}
+
+// Truncate shrinks object id's cached prefix to at most bytes, releasing
+// the difference. Byte-store frontends call this when they fail to
+// materialize bytes the cache has already accounted for (e.g. an origin
+// fetch aborts mid-relay).
+func (c *Cache) Truncate(id int, bytes int64) {
+	e := c.entries[id]
+	if e == nil {
+		return
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	if e.bytes > bytes {
+		c.shrink(e, e.bytes-bytes)
+	}
+}
+
+// shrink releases take bytes from e, removing the entry entirely when its
+// prefix reaches zero.
+func (c *Cache) shrink(e *entry, take int64) {
+	if take <= 0 {
+		return
+	}
+	if take > e.bytes {
+		take = e.bytes
+	}
+	e.bytes -= take
+	c.used -= take
+	if e.bytes == 0 {
+		heap.Remove(&c.h, e.heapIdx)
+		delete(c.entries, e.obj.ID)
+	}
+}
+
+// CachedBytes returns the cached prefix size of object id (0 if absent).
+func (c *Cache) CachedBytes(id int) int64 {
+	if e := c.entries[id]; e != nil {
+		return e.bytes
+	}
+	return 0
+}
+
+// Stats returns a copy of the access statistics recorded for object id.
+func (c *Cache) Stats(id int) AccessStats {
+	if st := c.stats[id]; st != nil {
+		return *st
+	}
+	return AccessStats{}
+}
+
+// Used returns the total cached bytes.
+func (c *Cache) Used() int64 { return c.used }
+
+// Capacity returns the configured capacity in bytes.
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// Len returns the number of (partially) cached objects.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Policy returns the configured replacement policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Placement is a snapshot of one cached object.
+type Placement struct {
+	Object  Object
+	Bytes   int64
+	Utility float64
+}
+
+// Contents returns a snapshot of all cached objects ordered by
+// descending utility (hottest first).
+func (c *Cache) Contents() []Placement {
+	out := make([]Placement, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, Placement{Object: e.obj, Bytes: e.bytes, Utility: e.utility})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Utility != out[j].Utility {
+			return out[i].Utility > out[j].Utility
+		}
+		return out[i].Object.ID < out[j].Object.ID
+	})
+	return out
+}
+
+// checkInvariants verifies internal consistency; tests call it after
+// mutation sequences.
+func (c *Cache) checkInvariants() error {
+	if c.used < 0 || c.used > c.capacity {
+		return fmt.Errorf("core: used %d outside [0, %d]", c.used, c.capacity)
+	}
+	var sum int64
+	for id, e := range c.entries {
+		if e.obj.ID != id {
+			return fmt.Errorf("core: entry key %d holds object %d", id, e.obj.ID)
+		}
+		if e.bytes <= 0 || e.bytes > e.obj.Size {
+			return fmt.Errorf("core: object %d cached bytes %d outside (0, %d]", id, e.bytes, e.obj.Size)
+		}
+		sum += e.bytes
+		if e.heapIdx < 0 || e.heapIdx >= c.h.Len() || c.h[e.heapIdx] != e {
+			return fmt.Errorf("core: object %d heap index %d inconsistent", id, e.heapIdx)
+		}
+	}
+	if sum != c.used {
+		return fmt.Errorf("core: used %d != sum of entries %d", c.used, sum)
+	}
+	if c.h.Len() != len(c.entries) {
+		return fmt.Errorf("core: heap len %d != entries %d", c.h.Len(), len(c.entries))
+	}
+	return nil
+}

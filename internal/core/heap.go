@@ -1,0 +1,49 @@
+package core
+
+// entry is the cache's bookkeeping for one (partially) cached object.
+type entry struct {
+	obj        Object
+	bytes      int64   // cached prefix size
+	utility    float64 // current priority key
+	lastAccess float64 // tiebreaker: older entries evicted first
+	heapIdx    int
+}
+
+// entryHeap is a min-heap on (utility, lastAccess) implementing
+// container/heap.Interface; the cheapest-to-evict entry sits at the root.
+// Heap maintenance is O(log n) per access, matching the cost stated in
+// Section 2.4.
+type entryHeap []*entry
+
+func (h entryHeap) Len() int { return len(h) }
+
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].utility != h[j].utility {
+		return h[i].utility < h[j].utility
+	}
+	return h[i].lastAccess < h[j].lastAccess
+}
+
+func (h entryHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+
+// Push appends x; used only through container/heap.
+func (h *entryHeap) Push(x any) {
+	e := x.(*entry)
+	e.heapIdx = len(*h)
+	*h = append(*h, e)
+}
+
+// Pop removes the last element; used only through container/heap.
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.heapIdx = -1
+	*h = old[:n-1]
+	return e
+}

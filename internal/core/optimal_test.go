@@ -1,0 +1,276 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamcache/internal/units"
+)
+
+func optTestObjects() ([]Object, []float64, []float64) {
+	// Three objects, all 100s at 100 KB/s (size 10240000 B).
+	objs := []Object{testObject(0), testObject(1), testObject(2)}
+	lambda := []float64{10, 5, 1}
+	bw := []float64{units.KBps(50), units.KBps(20), units.KBps(90)}
+	return objs, lambda, bw
+}
+
+func TestOptimalPlacementValidation(t *testing.T) {
+	objs, lambda, bw := optTestObjects()
+	if _, err := OptimalPlacement(objs, lambda[:1], bw, 100); err == nil {
+		t.Error("mismatched lambda accepted")
+	}
+	if _, err := OptimalPlacement(objs, lambda, bw[:1], 100); err == nil {
+		t.Error("mismatched bw accepted")
+	}
+	if _, err := OptimalPlacement(objs, lambda, bw, -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := OptimalPlacement(objs, []float64{-1, 0, 0}, bw, 100); err == nil {
+		t.Error("negative lambda accepted")
+	}
+}
+
+func TestOptimalPlacementSkipsAbundantBandwidth(t *testing.T) {
+	objs := []Object{testObject(0)}
+	lambda := []float64{100}
+	bw := []float64{units.KBps(150)} // r=100 KB/s < b
+	placement, err := OptimalPlacement(objs, lambda, bw, units.GBytes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placement) != 0 {
+		t.Errorf("placement = %v, want empty (abundant bandwidth)", placement)
+	}
+}
+
+func TestOptimalPlacementOrdersByLambdaOverB(t *testing.T) {
+	objs, lambda, bw := optTestObjects()
+	// lambda/b ranking: obj1 (5/20) > obj0 (10/50) > obj2 (1/90).
+	// Deficits: obj0 = 50KB/s*100s = 5120000, obj1 = 80KB/s*100s = 8192000.
+	// Capacity fits obj1's deficit plus half of obj0's.
+	capacity := int64(8192000 + 2560000)
+	placement, err := OptimalPlacement(objs, lambda, bw, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := placement[1]; got != 8192000 {
+		t.Errorf("obj1 placement = %d, want full deficit 8192000", got)
+	}
+	if got := placement[0]; got != 2560000 {
+		t.Errorf("obj0 placement = %d, want split 2560000", got)
+	}
+	if got := placement[2]; got != 0 {
+		t.Errorf("obj2 placement = %d, want 0", got)
+	}
+}
+
+func TestOptimalPlacementNeverExceedsDeficit(t *testing.T) {
+	objs, lambda, bw := optTestObjects()
+	placement, err := OptimalPlacement(objs, lambda, bw, units.GBytes(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, obj := range objs {
+		deficit := int64(math.Ceil((obj.Rate - bw[i]) * obj.Duration))
+		if deficit < 0 {
+			deficit = 0
+		}
+		if got := placement[obj.ID]; got > deficit {
+			t.Errorf("obj%d placement %d > deficit %d", i, got, deficit)
+		}
+	}
+}
+
+func TestExpectedDelayZeroWithFullDeficits(t *testing.T) {
+	objs, lambda, bw := optTestObjects()
+	placement := make(map[int]int64)
+	for i, obj := range objs {
+		d := int64((obj.Rate - bw[i]) * obj.Duration)
+		if d > 0 {
+			placement[obj.ID] = d
+		}
+	}
+	got, err := ExpectedDelay(objs, lambda, bw, placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 1e-6 {
+		t.Errorf("ExpectedDelay = %v, want ~0 with full deficits", got)
+	}
+}
+
+func TestExpectedDelayEmptyPlacement(t *testing.T) {
+	objs, lambda, bw := optTestObjects()
+	got, err := ExpectedDelay(objs, lambda, bw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic: sum_i lambda_i * (S - T*b_i)/b_i / sum lambda.
+	want := 0.0
+	totalL := 0.0
+	for i, obj := range objs {
+		d := (float64(obj.Size) - obj.Duration*bw[i]) / bw[i]
+		if d < 0 {
+			d = 0
+		}
+		want += lambda[i] * d
+		totalL += lambda[i]
+	}
+	want /= totalL
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("ExpectedDelay = %v, want %v", got, want)
+	}
+}
+
+func TestExpectedDelayValidation(t *testing.T) {
+	objs, lambda, bw := optTestObjects()
+	if _, err := ExpectedDelay(objs, lambda[:1], bw, nil); err == nil {
+		t.Error("mismatched lambda accepted")
+	}
+	if _, err := ExpectedDelay(nil, nil, nil, nil); err != nil {
+		t.Errorf("empty input rejected: %v", err)
+	}
+}
+
+func TestOptimalPlacementBeatsRandomPlacementProperty(t *testing.T) {
+	// The Section 2.3 optimum must never yield higher expected delay
+	// than a random placement of the same capacity.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 2
+		objs := make([]Object, n)
+		lambda := make([]float64, n)
+		bw := make([]float64, n)
+		for i := range objs {
+			objs[i] = smallObject(i, int64(rng.Intn(500)+100))
+			lambda[i] = float64(rng.Intn(20) + 1)
+			bw[i] = objs[i].Rate * (0.2 + 1.3*rng.Float64())
+		}
+		capacity := int64(rng.Intn(400)+50) * units.KB
+
+		optimal, err := OptimalPlacement(objs, lambda, bw, capacity)
+		if err != nil {
+			return false
+		}
+		optDelay, err := ExpectedDelay(objs, lambda, bw, optimal)
+		if err != nil {
+			return false
+		}
+
+		// Random feasible placement.
+		random := make(map[int]int64)
+		remaining := capacity
+		for _, i := range rng.Perm(n) {
+			if remaining <= 0 {
+				break
+			}
+			amt := rng.Int63n(remaining + 1)
+			if amt > objs[i].Size {
+				amt = objs[i].Size
+			}
+			random[objs[i].ID] = amt
+			remaining -= amt
+		}
+		randDelay, err := ExpectedDelay(objs, lambda, bw, random)
+		if err != nil {
+			return false
+		}
+		// Byte-granularity tolerance: the knapsack splits at most one
+		// item, so the optimum can trail a continuous placement by up to
+		// a handful of bytes' worth of delay.
+		sumLambda, maxDensity := 0.0, 0.0
+		for i := range objs {
+			sumLambda += lambda[i]
+			if d := lambda[i] / bw[i]; d > maxDensity {
+				maxDensity = d
+			}
+		}
+		tol := float64(n+1) * maxDensity / sumLambda
+		return optDelay <= randDelay+tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalPlacementRespectsCapacityProperty(t *testing.T) {
+	f := func(seed int64, capKB uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 1
+		objs := make([]Object, n)
+		lambda := make([]float64, n)
+		bw := make([]float64, n)
+		for i := range objs {
+			objs[i] = smallObject(i, int64(rng.Intn(300)+10))
+			lambda[i] = rng.Float64() * 10
+			bw[i] = objs[i].Rate * rng.Float64() * 2
+		}
+		capacity := int64(capKB) * units.KB
+		placement, err := OptimalPlacement(objs, lambda, bw, capacity)
+		if err != nil {
+			return false
+		}
+		var total int64
+		for id, bytes := range placement {
+			if bytes < 0 || bytes > objs[id].Size {
+				return false
+			}
+			total += bytes
+		}
+		return total <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalValuePlacement(t *testing.T) {
+	objs, lambda, bw := optTestObjects()
+	objs[0].Value = 10
+	objs[1].Value = 1
+	objs[2].Value = 5
+	// Deficits: obj0 = 5120000 (lv=100), obj1 = 8192000 (lv=5), obj2 = 1024000 (lv=5).
+	// Densities: obj0 = 100/5.12M, obj2 = 5/1.024M, obj1 = 5/8.19M.
+	capacity := int64(6200000) // fits obj0 + obj2
+	placement, total, err := OptimalValuePlacement(objs, lambda, bw, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placement[0] == 0 || placement[2] == 0 {
+		t.Errorf("placement = %v, want obj0 and obj2 cached", placement)
+	}
+	if placement[1] != 0 {
+		t.Errorf("obj1 cached (%d bytes), want 0", placement[1])
+	}
+	wantTotal := lambda[0]*objs[0].Value + lambda[2]*objs[2].Value
+	if math.Abs(total-wantTotal) > 1e-9 {
+		t.Errorf("total value = %v, want %v", total, wantTotal)
+	}
+}
+
+func TestOptimalValuePlacementValidation(t *testing.T) {
+	objs, lambda, bw := optTestObjects()
+	if _, _, err := OptimalValuePlacement(objs, lambda[:1], bw, 100); err == nil {
+		t.Error("mismatched lambda accepted")
+	}
+	if _, _, err := OptimalValuePlacement(objs, lambda, bw, -5); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, _, err := OptimalValuePlacement(objs, []float64{-1, 1, 1}, bw, 100); err == nil {
+		t.Error("negative lambda accepted")
+	}
+}
+
+func TestOptimalValuePlacementSkipsServableObjects(t *testing.T) {
+	objs := []Object{testObject(0)}
+	placement, total, err := OptimalValuePlacement(objs, []float64{5}, []float64{objs[0].Rate * 2}, units.GBytes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placement) != 0 || total != 0 {
+		t.Errorf("placement=%v total=%v, want empty (already servable)", placement, total)
+	}
+}

@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// tinyScale keeps experiment tests fast while exercising every code path.
+func tinyScale() Scale {
+	return Scale{
+		Objects:        100,
+		Requests:       2000,
+		Runs:           1,
+		Seed:           1,
+		CacheFractions: []float64{0.02, 0.1},
+		AlphaSweep:     []float64{0.5, 1.0},
+		ESweep:         []float64{0, 0.5, 1},
+		TraceEntries:   3000,
+		TraceServers:   50,
+	}
+}
+
+func checkTable(t *testing.T, tbl *Table, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Name == "" {
+		t.Error("table has no name")
+	}
+	if len(tbl.Header) == 0 {
+		t.Error("table has no header")
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("table has no rows")
+	}
+	for i, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) {
+			t.Fatalf("row %d has %d cells, header has %d", i, len(row), len(tbl.Header))
+		}
+	}
+}
+
+func TestScaleValidation(t *testing.T) {
+	bad := tinyScale()
+	bad.Objects = 0
+	if _, err := Table1(bad); err == nil {
+		t.Error("zero objects accepted")
+	}
+	noFrac := tinyScale()
+	noFrac.CacheFractions = nil
+	if _, err := Figure5(noFrac); err == nil {
+		t.Error("empty cache fractions accepted")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tbl, err := Table1(tinyScale())
+	checkTable(t, tbl, err)
+	got := map[string]string{}
+	for _, row := range tbl.Rows {
+		got[row[0]] = row[1]
+	}
+	if got["objects"] != "100" {
+		t.Errorf("objects = %s, want 100", got["objects"])
+	}
+	if got["object_bitrate_KBps"] != "48.0" {
+		t.Errorf("bitrate = %s, want 48.0", got["object_bitrate_KBps"])
+	}
+}
+
+func TestFigure2CDFEndsAtOne(t *testing.T) {
+	tbl, err := Figure2(tinyScale())
+	checkTable(t, tbl, err)
+	last := tbl.Rows[len(tbl.Rows)-1]
+	cdf, err := strconv.ParseFloat(last[2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdf != 1 {
+		t.Errorf("final CDF = %v, want 1", cdf)
+	}
+}
+
+func TestFigure3RatiosCenterOnOne(t *testing.T) {
+	tbl, err := Figure3(tinyScale())
+	checkTable(t, tbl, err)
+	// The CDF at ratio 1.0 should be near the median.
+	for _, row := range tbl.Rows {
+		if row[0] == "1.000" {
+			cdf, err := strconv.ParseFloat(row[2], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cdf < 0.3 || cdf > 0.8 {
+				t.Errorf("CDF at ratio 1.0 = %v, want near the median", cdf)
+			}
+			return
+		}
+	}
+	t.Error("no ratio=1.0 bin found")
+}
+
+func TestFigure4HasThreePaths(t *testing.T) {
+	tbl, err := Figure4(tinyScale())
+	checkTable(t, tbl, err)
+	paths := map[string]bool{}
+	for _, row := range tbl.Rows {
+		paths[row[0]] = true
+	}
+	for _, want := range []string{"INRIA,France", "Taiwan", "HongKong"} {
+		if !paths[want] {
+			t.Errorf("path %q missing from Figure 4 rows", want)
+		}
+	}
+}
+
+func TestSimulationFigures(t *testing.T) {
+	s := tinyScale()
+	builders := map[string]func(Scale) (*Table, error){
+		"Figure5":  Figure5,
+		"Figure7":  Figure7,
+		"Figure8":  Figure8,
+		"Figure10": Figure10,
+		"Figure11": Figure11,
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			tbl, err := build(s)
+			checkTable(t, tbl, err)
+			// 2 cache fractions x 3 policies.
+			if len(tbl.Rows) != 6 {
+				t.Errorf("rows = %d, want 6", len(tbl.Rows))
+			}
+		})
+	}
+}
+
+func TestFigure6RowCount(t *testing.T) {
+	tbl, err := Figure6(tinyScale())
+	checkTable(t, tbl, err)
+	// 2 alphas x 2 fractions x 2 policies.
+	if len(tbl.Rows) != 8 {
+		t.Errorf("rows = %d, want 8", len(tbl.Rows))
+	}
+}
+
+func TestFigure9And12RowCount(t *testing.T) {
+	for name, build := range map[string]func(Scale) (*Table, error){
+		"Figure9": Figure9, "Figure12": Figure12,
+	} {
+		t.Run(name, func(t *testing.T) {
+			tbl, err := build(tinyScale())
+			checkTable(t, tbl, err)
+			// 3 e values x 2 fractions.
+			if len(tbl.Rows) != 6 {
+				t.Errorf("rows = %d, want 6", len(tbl.Rows))
+			}
+		})
+	}
+}
+
+func TestAblations(t *testing.T) {
+	tbl, err := AblationEvictionGranularity(tinyScale())
+	checkTable(t, tbl, err)
+	if len(tbl.Rows) != 4 { // 2 fractions x 2 modes
+		t.Errorf("eviction ablation rows = %d, want 4", len(tbl.Rows))
+	}
+	tbl, err = AblationEstimators(tinyScale())
+	checkTable(t, tbl, err)
+	if len(tbl.Rows) != 6 { // 2 fractions x 3 estimators
+		t.Errorf("estimator ablation rows = %d, want 6", len(tbl.Rows))
+	}
+}
+
+func TestAllProducesEveryTable(t *testing.T) {
+	tables, err := All(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 18 {
+		t.Fatalf("All produced %d tables, want 18", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tbl := range tables {
+		if seen[tbl.Name] {
+			t.Errorf("duplicate table name %q", tbl.Name)
+		}
+		seen[tbl.Name] = true
+	}
+}
+
+func TestDeterministicTables(t *testing.T) {
+	a, err := Figure5(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure5(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("row %d cell %d differs across identical runs: %q vs %q",
+					i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestExtensionStreamMerging(t *testing.T) {
+	tbl, err := ExtensionStreamMerging(tinyScale())
+	checkTable(t, tbl, err)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 techniques", len(tbl.Rows))
+	}
+	// Parse savings per technique; merging must save versus unicast and
+	// cached patching must save at least as much as plain patching.
+	savings := map[string]float64{}
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		savings[row[0]] = v
+	}
+	if savings["unicast"] != 0 {
+		t.Errorf("unicast savings = %v, want 0", savings["unicast"])
+	}
+	if savings["patching"] <= 0 {
+		t.Errorf("patching savings = %v, want > 0", savings["patching"])
+	}
+	if savings["patching+PB_cache"] < savings["patching"] {
+		t.Errorf("cached patching (%v) must not save less than plain patching (%v)",
+			savings["patching+PB_cache"], savings["patching"])
+	}
+}
+
+func TestExtensionPartialViewing(t *testing.T) {
+	tbl, err := ExtensionPartialViewing(tinyScale())
+	checkTable(t, tbl, err)
+	if len(tbl.Rows) != 6 { // 3 probabilities x 2 policies
+		t.Errorf("rows = %d, want 6", len(tbl.Rows))
+	}
+}
+
+func TestExtensionActiveProbing(t *testing.T) {
+	tbl, err := ExtensionActiveProbing(tinyScale())
+	checkTable(t, tbl, err)
+	if len(tbl.Rows) != 4 {
+		t.Errorf("rows = %d, want 4 estimators", len(tbl.Rows))
+	}
+}
+
+func TestExtensionBaselines(t *testing.T) {
+	tbl, err := ExtensionBaselines(tinyScale())
+	checkTable(t, tbl, err)
+	if len(tbl.Rows) != 7 {
+		t.Errorf("rows = %d, want 7 policies", len(tbl.Rows))
+	}
+}

@@ -1,0 +1,312 @@
+package knapsack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFractionalRejectsBadInput(t *testing.T) {
+	if _, _, err := Fractional(nil, -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, _, err := Fractional([]Item{{Profit: math.NaN(), Weight: 1}}, 1); err == nil {
+		t.Error("NaN profit accepted")
+	}
+	if _, _, err := Fractional(nil, math.NaN()); err == nil {
+		t.Error("NaN capacity accepted")
+	}
+}
+
+func TestFractionalKnownInstance(t *testing.T) {
+	items := []Item{
+		{ID: 0, Profit: 60, Weight: 10},  // density 6
+		{ID: 1, Profit: 100, Weight: 20}, // density 5
+		{ID: 2, Profit: 120, Weight: 30}, // density 4
+	}
+	frac, total, err := Fractional(items, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classic instance: optimum 240 with item 2 taken 2/3.
+	if math.Abs(total-240) > 1e-9 {
+		t.Errorf("total = %v, want 240", total)
+	}
+	want := []float64{1, 1, 2.0 / 3.0}
+	for i := range want {
+		if math.Abs(frac[i]-want[i]) > 1e-9 {
+			t.Errorf("frac[%d] = %v, want %v", i, frac[i], want[i])
+		}
+	}
+}
+
+func TestFractionalZeroCapacity(t *testing.T) {
+	items := []Item{{Profit: 10, Weight: 5}}
+	frac, total, err := Fractional(items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 0 || frac[0] != 0 {
+		t.Errorf("zero capacity: total=%v frac=%v, want 0", total, frac[0])
+	}
+}
+
+func TestFractionalSkipsNonPositiveProfit(t *testing.T) {
+	items := []Item{
+		{Profit: -5, Weight: 1},
+		{Profit: 0, Weight: 1},
+		{Profit: 10, Weight: 1},
+	}
+	frac, total, err := Fractional(items, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 10 {
+		t.Errorf("total = %v, want 10", total)
+	}
+	if frac[0] != 0 || frac[1] != 0 || frac[2] != 1 {
+		t.Errorf("frac = %v, want [0 0 1]", frac)
+	}
+}
+
+func TestFractionalFreeItems(t *testing.T) {
+	items := []Item{{Profit: 7, Weight: 0}, {Profit: 3, Weight: 5}}
+	frac, total, err := Fractional(items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 7 || frac[0] != 1 || frac[1] != 0 {
+		t.Errorf("free item: total=%v frac=%v", total, frac)
+	}
+}
+
+func TestFractionalCapacityLargerThanAll(t *testing.T) {
+	items := []Item{{Profit: 1, Weight: 1}, {Profit: 2, Weight: 2}}
+	frac, total, err := Fractional(items, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 || frac[0] != 1 || frac[1] != 1 {
+		t.Errorf("abundant capacity: total=%v frac=%v", total, frac)
+	}
+}
+
+func TestGreedy01KnownInstance(t *testing.T) {
+	items := []Item{
+		{Profit: 60, Weight: 10},
+		{Profit: 100, Weight: 20},
+		{Profit: 120, Weight: 30},
+	}
+	take, total, err := Greedy01(items, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Density greedy takes items 0 and 1 (160); optimum is 1+2 (220).
+	// The greedy answer must be at least half of the optimum.
+	if total < 110 {
+		t.Errorf("greedy total = %v, want >= 110 (half of 220)", total)
+	}
+	count := 0
+	weight := 0.0
+	for i, tk := range take {
+		if tk {
+			count++
+			weight += items[i].Weight
+		}
+	}
+	if weight > 50 {
+		t.Errorf("greedy overfills: weight %v > 50", weight)
+	}
+	if count == 0 {
+		t.Error("greedy took nothing")
+	}
+}
+
+func TestGreedy01PrefersBigSingleItem(t *testing.T) {
+	// Density greedy alone would take the small item and miss the big one.
+	items := []Item{
+		{Profit: 2, Weight: 1},    // density 2
+		{Profit: 100, Weight: 99}, // density ~1.01
+	}
+	take, total, err := Greedy01(items, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 100 {
+		t.Errorf("total = %v, want 100 (single-item fallback)", total)
+	}
+	if !take[1] || take[0] {
+		t.Errorf("take = %v, want [false true]", take)
+	}
+}
+
+func TestGreedy01RejectsBadInput(t *testing.T) {
+	if _, _, err := Greedy01(nil, -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, _, err := Greedy01([]Item{{Profit: 1, Weight: math.NaN()}}, 1); err == nil {
+		t.Error("NaN weight accepted")
+	}
+}
+
+func TestExact01KnownInstance(t *testing.T) {
+	items := []IntItem{
+		{Profit: 60, Weight: 10},
+		{Profit: 100, Weight: 20},
+		{Profit: 120, Weight: 30},
+	}
+	got, err := Exact01(items, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 220 {
+		t.Errorf("Exact01 = %v, want 220", got)
+	}
+}
+
+func TestExact01Errors(t *testing.T) {
+	if _, err := Exact01(nil, -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := Exact01([]IntItem{{Profit: 1, Weight: -2}}, 5); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := Exact01([]IntItem{{Profit: math.NaN(), Weight: 2}}, 5); err == nil {
+		t.Error("NaN profit accepted")
+	}
+}
+
+func TestExact01EmptyAndZeroCapacity(t *testing.T) {
+	got, err := Exact01(nil, 10)
+	if err != nil || got != 0 {
+		t.Errorf("empty: got %v err %v", got, err)
+	}
+	got, err = Exact01([]IntItem{{Profit: 5, Weight: 1}}, 0)
+	if err != nil || got != 0 {
+		t.Errorf("zero capacity: got %v err %v", got, err)
+	}
+	got, err = Exact01([]IntItem{{Profit: 5, Weight: 0}}, 0)
+	if err != nil || got != 5 {
+		t.Errorf("zero-weight item: got %v err %v", got, err)
+	}
+}
+
+// randomInstance builds a random integer-weight instance usable by all
+// three solvers.
+func randomInstance(rng *rand.Rand) ([]Item, []IntItem, int) {
+	n := rng.Intn(12) + 1
+	items := make([]Item, n)
+	intItems := make([]IntItem, n)
+	for i := 0; i < n; i++ {
+		w := rng.Intn(20) + 1
+		p := float64(rng.Intn(100) + 1)
+		items[i] = Item{ID: i, Profit: p, Weight: float64(w)}
+		intItems[i] = IntItem{Profit: p, Weight: w}
+	}
+	capacity := rng.Intn(60) + 1
+	return items, intItems, capacity
+}
+
+func TestFractionalDominatesExactProperty(t *testing.T) {
+	// The fractional relaxation is always >= the 0/1 optimum.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		items, intItems, capacity := randomInstance(rng)
+		_, fracTotal, err := Fractional(items, float64(capacity))
+		if err != nil {
+			return false
+		}
+		exact, err := Exact01(intItems, capacity)
+		if err != nil {
+			return false
+		}
+		return fracTotal >= exact-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyWithinHalfOfExactProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		items, intItems, capacity := randomInstance(rng)
+		_, greedyTotal, err := Greedy01(items, float64(capacity))
+		if err != nil {
+			return false
+		}
+		exact, err := Exact01(intItems, capacity)
+		if err != nil {
+			return false
+		}
+		return greedyTotal >= exact/2-1e-9 && greedyTotal <= exact+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFractionalRespectsCapacityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		items, _, capacity := randomInstance(rng)
+		frac, _, err := Fractional(items, float64(capacity))
+		if err != nil {
+			return false
+		}
+		used := 0.0
+		for i, f := range frac {
+			if f < 0 || f > 1+1e-12 {
+				return false
+			}
+			used += f * items[i].Weight
+		}
+		return used <= float64(capacity)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyRespectsCapacityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		items, _, capacity := randomInstance(rng)
+		take, _, err := Greedy01(items, float64(capacity))
+		if err != nil {
+			return false
+		}
+		used := 0.0
+		for i, tk := range take {
+			if tk {
+				used += items[i].Weight
+			}
+		}
+		return used <= float64(capacity)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFractionalAtMostOneSplitItemProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		items, _, capacity := randomInstance(rng)
+		frac, _, err := Fractional(items, float64(capacity))
+		if err != nil {
+			return false
+		}
+		split := 0
+		for _, f := range frac {
+			if f > 1e-12 && f < 1-1e-12 {
+				split++
+			}
+		}
+		return split <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package metrics provides the statistical primitives used throughout the
+// evaluation harness: streaming mean/variance (Welford), fixed-width
+// histograms, empirical CDFs, and quantiles. These back the bandwidth
+// characterization experiments (paper Figures 2-4) and the per-run summary
+// statistics of every simulation.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrBadParam reports an invalid argument.
+var ErrBadParam = errors.New("metrics: invalid parameter")
+
+// Welford accumulates mean and variance in a single streaming pass.
+// The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2 points).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// CoV returns the coefficient of variation Std/Mean (0 when Mean is 0).
+func (w *Welford) CoV() float64 {
+	if w.mean == 0 {
+		return 0
+	}
+	return w.Std() / w.mean
+}
+
+// Min returns the smallest observation (0 when empty).
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.max
+}
+
+// Histogram is a fixed-bin-width histogram over [Origin, Origin+Width*Bins).
+// Samples outside the range are clamped into the first/last bin so that
+// Count always equals the number of Add calls, mirroring how the paper's
+// histograms bucket the NLANR bandwidth samples (4 KB/s slots, Figure 2).
+type Histogram struct {
+	origin float64
+	width  float64
+	bins   []int64
+	count  int64
+	sum    float64
+}
+
+// NewHistogram builds a histogram with the given bin origin, bin width and
+// bin count.
+func NewHistogram(origin, width float64, bins int) (*Histogram, error) {
+	if width <= 0 || math.IsNaN(width) {
+		return nil, fmt.Errorf("%w: histogram width=%v, want > 0", ErrBadParam, width)
+	}
+	if bins <= 0 {
+		return nil, fmt.Errorf("%w: histogram bins=%d, want > 0", ErrBadParam, bins)
+	}
+	return &Histogram{origin: origin, width: width, bins: make([]int64, bins)}, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	i := int(math.Floor((x - h.origin) / h.width))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.bins) {
+		i = len(h.bins) - 1
+	}
+	h.bins[i]++
+	h.count++
+	h.sum += x
+}
+
+// Count returns the total number of samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the mean of the raw samples (not bin midpoints).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// NumBins returns the number of bins.
+func (h *Histogram) NumBins() int { return len(h.bins) }
+
+// Bin returns the count in bin i.
+func (h *Histogram) Bin(i int) int64 { return h.bins[i] }
+
+// BinStart returns the lower edge of bin i.
+func (h *Histogram) BinStart(i int) float64 { return h.origin + float64(i)*h.width }
+
+// CDF returns the empirical CDF evaluated at each bin upper edge. The last
+// value is always 1 for a non-empty histogram.
+func (h *Histogram) CDF() []float64 {
+	out := make([]float64, len(h.bins))
+	if h.count == 0 {
+		return out
+	}
+	var cum int64
+	for i, c := range h.bins {
+		cum += c
+		out[i] = float64(cum) / float64(h.count)
+	}
+	return out
+}
+
+// FractionBelow returns the fraction of samples strictly in bins whose
+// upper edge is <= x (bin-resolution approximation of P[X < x]).
+func (h *Histogram) FractionBelow(x float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	var cum int64
+	for i, c := range h.bins {
+		if h.BinStart(i)+h.width > x {
+			break
+		}
+		cum += c
+	}
+	return float64(cum) / float64(h.count)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of a sample slice using
+// linear interpolation between order statistics. The input is not modified.
+func Quantile(samples []float64, q float64) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("%w: quantile of empty sample", ErrBadParam)
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("%w: quantile q=%v, want in [0,1]", ErrBadParam, q)
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// ECDF is an empirical cumulative distribution function built from raw
+// samples. It supports evaluation at arbitrary points and inverse
+// (quantile) lookups, which the bandwidth package uses to turn measured
+// throughput samples into a sampleable distribution.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from samples (copied and sorted).
+func NewECDF(samples []float64) (*ECDF, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("%w: ECDF needs at least one sample", ErrBadParam)
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// At returns P[X <= x].
+func (e *ECDF) At(x float64) float64 {
+	i := sort.SearchFloat64s(e.sorted, x)
+	// Move past ties so that At is right-continuous.
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Inverse returns the smallest sample x with P[X <= x] >= p.
+func (e *ECDF) Inverse(p float64) float64 {
+	if p <= 0 {
+		return e.sorted[0]
+	}
+	if p >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	i := int(math.Ceil(p*float64(len(e.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return e.sorted[i]
+}
+
+// N returns the number of samples.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// Min returns the smallest sample.
+func (e *ECDF) Min() float64 { return e.sorted[0] }
+
+// Max returns the largest sample.
+func (e *ECDF) Max() float64 { return e.sorted[len(e.sorted)-1] }

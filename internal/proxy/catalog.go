@@ -1,0 +1,111 @@
+// Package proxy is a working prototype of the paper's acceleration
+// architecture (Figure 1, and the prototyping direction of Section 6):
+// an HTTP origin server with rate-limited paths, a caching proxy that
+// serves the cached prefix of a streaming object and *jointly delivers*
+// the remainder fetched from the origin, a passive per-origin bandwidth
+// estimator, and a client that measures startup delay.
+//
+// The proxy's cache decisions are made by a core.Policy, so any of the
+// paper's algorithms (IF, PB, IB, ...) can drive a live deployment.
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ErrBadCatalog reports an invalid catalog construction.
+var ErrBadCatalog = errors.New("proxy: invalid catalog")
+
+// Meta describes one streaming object served by an origin.
+type Meta struct {
+	ID       int
+	Size     int64   // bytes
+	Rate     float64 // playback rate, bytes/s
+	Duration float64 // seconds (Size/Rate for CBR)
+	Value    float64
+	// Origin is the base URL of the origin server storing this object
+	// (e.g. "http://origin-a:8080"). Empty means the proxy's default
+	// origin. Distinct origins get independent bandwidth estimators,
+	// mirroring the per-path b_i of the paper's Figure 1.
+	Origin string
+}
+
+// Catalog is the shared object directory: both the origin (to serve
+// content) and the proxy (to make cache decisions) consult it.
+type Catalog struct {
+	objects map[int]Meta
+}
+
+// NewCatalog builds a catalog from object metadata.
+func NewCatalog(objects []Meta) (*Catalog, error) {
+	m := make(map[int]Meta, len(objects))
+	for _, o := range objects {
+		if o.Size <= 0 {
+			return nil, fmt.Errorf("%w: object %d size %d", ErrBadCatalog, o.ID, o.Size)
+		}
+		if o.Rate <= 0 {
+			return nil, fmt.Errorf("%w: object %d rate %v", ErrBadCatalog, o.ID, o.Rate)
+		}
+		if _, dup := m[o.ID]; dup {
+			return nil, fmt.Errorf("%w: duplicate object ID %d", ErrBadCatalog, o.ID)
+		}
+		if o.Duration == 0 {
+			o.Duration = float64(o.Size) / o.Rate
+		}
+		m[o.ID] = o
+	}
+	return &Catalog{objects: m}, nil
+}
+
+// Get returns the metadata for object id.
+func (c *Catalog) Get(id int) (Meta, bool) {
+	o, ok := c.objects[id]
+	return o, ok
+}
+
+// IDs returns all object IDs in ascending order.
+func (c *Catalog) IDs() []int {
+	out := make([]int, 0, len(c.objects))
+	for id := range c.objects {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Len returns the number of objects.
+func (c *Catalog) Len() int { return len(c.objects) }
+
+// Content deterministically generates the byte content of object id:
+// every byte of an object is reproducible from (id, offset), so the
+// origin can serve arbitrary ranges and tests can verify integrity
+// end-to-end without storing object data.
+func Content(id int, offset, length int64) []byte {
+	if length <= 0 {
+		return nil
+	}
+	out := make([]byte, length)
+	// Content is produced in fixed-size blocks, each seeded by
+	// (id, blockIndex), so any range can be generated independently.
+	const block = 4096
+	start := offset / block
+	end := (offset + length - 1) / block
+	for b := start; b <= end; b++ {
+		rng := rand.New(rand.NewSource(int64(id)<<20 ^ b))
+		buf := make([]byte, block)
+		for i := range buf {
+			buf[i] = byte(rng.Intn(256))
+		}
+		blockStart := b * block
+		for i := int64(0); i < block; i++ {
+			pos := blockStart + i
+			if pos >= offset && pos < offset+length {
+				out[pos-offset] = buf[i]
+			}
+		}
+	}
+	return out
+}

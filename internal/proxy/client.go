@@ -1,0 +1,110 @@
+package proxy
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// FetchResult captures one client download: content digest, timing, and
+// the arrival curve needed to compute startup delay.
+type FetchResult struct {
+	Bytes      int64
+	SHA256     string
+	TTFB       time.Duration // time to first byte
+	Elapsed    time.Duration // total download time
+	CacheState string        // X-Cache header from the proxy ("" from origin)
+
+	samples []arrivalSample
+}
+
+type arrivalSample struct {
+	t   time.Duration
+	cum int64
+}
+
+// Fetch downloads url, recording the arrival curve as chunks land.
+func Fetch(url string) (*FetchResult, error) {
+	start := time.Now()
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: fetch %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("proxy: fetch %s: status %s", url, resp.Status)
+	}
+	res := &FetchResult{CacheState: resp.Header.Get("X-Cache")}
+	hash := sha256.New()
+	buf := make([]byte, 16*1024)
+	for {
+		n, readErr := resp.Body.Read(buf)
+		if n > 0 {
+			if res.Bytes == 0 {
+				res.TTFB = time.Since(start)
+			}
+			res.Bytes += int64(n)
+			hash.Write(buf[:n])
+			res.samples = append(res.samples, arrivalSample{t: time.Since(start), cum: res.Bytes})
+		}
+		if readErr != nil {
+			if errors.Is(readErr, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("proxy: fetch %s: read: %w", url, readErr)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.SHA256 = hex.EncodeToString(hash.Sum(nil))
+	return res, nil
+}
+
+// StartupDelay returns the smallest playout start time w such that a
+// client consuming playbackRate bytes/s from time w onward never
+// underruns: w = max(0, max_i(t_i - c_i/rate)) over the arrival curve.
+// This is the client-side realization of the paper's service delay.
+func (r *FetchResult) StartupDelay(playbackRate float64) time.Duration {
+	if playbackRate <= 0 || len(r.samples) == 0 {
+		return 0
+	}
+	var worst time.Duration
+	for _, s := range r.samples {
+		// Byte s.cum is consumed at playback time s.cum/rate; it arrived
+		// at s.t, so the start must be delayed to at least s.t - cum/rate.
+		consumeAt := time.Duration(float64(s.cum) / playbackRate * float64(time.Second))
+		if d := s.t - consumeAt; d > worst {
+			worst = d
+		}
+	}
+	if worst < 0 {
+		return 0
+	}
+	return worst
+}
+
+// MeanThroughput returns the average download rate in bytes/s.
+func (r *FetchResult) MeanThroughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Elapsed.Seconds()
+}
+
+// ContentSHA256 returns the expected digest of object id with the given
+// size, for end-to-end integrity checks.
+func ContentSHA256(id int, size int64) string {
+	hash := sha256.New()
+	const chunk = 64 * 1024
+	for off := int64(0); off < size; off += chunk {
+		n := int64(chunk)
+		if off+n > size {
+			n = size - off
+		}
+		hash.Write(Content(id, off, n))
+	}
+	return hex.EncodeToString(hash.Sum(nil))
+}

@@ -1,0 +1,292 @@
+package proxy
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"streamcache/internal/bandwidth"
+	"streamcache/internal/core"
+)
+
+// ErrBadProxy reports an invalid proxy construction.
+var ErrBadProxy = errors.New("proxy: invalid proxy")
+
+// Proxy is the accelerating cache of Figure 1. For each client request it
+// serves the cached prefix immediately (the fast cache-client path) and
+// concurrently relays the remainder from the origin over the constrained
+// path, growing or shrinking its cached prefix as the policy dictates.
+// Origin throughput is observed passively (Section 2.7) to feed the
+// policy's bandwidth estimate.
+type Proxy struct {
+	catalog   *Catalog
+	originURL string // default origin for objects without Meta.Origin
+	client    *http.Client
+
+	mu         sync.Mutex
+	cache      *core.Cache
+	store      *PrefixStore
+	estimators map[string]bandwidth.Estimator // per-origin b_i estimates
+	start      time.Time
+	stats      Stats
+	inflight   sync.WaitGroup
+}
+
+var _ http.Handler = (*Proxy)(nil)
+
+// Stats counts proxy activity; exposed at GET /stats.
+type Stats struct {
+	Requests     int64 `json:"requests"`
+	PrefixHits   int64 `json:"prefixHits"`
+	BytesFromHit int64 `json:"bytesFromCache"`
+	BytesFetched int64 `json:"bytesFromOrigin"`
+	UsedBytes    int64 `json:"usedBytes"`
+	Objects      int   `json:"objects"`
+	// EstimatesBps maps each origin base URL to the current passive
+	// bandwidth estimate of its path (bytes/s).
+	EstimatesBps map[string]int64 `json:"estimatesBps"`
+}
+
+// EstimateBps returns the path estimate for the given origin ("" =
+// default origin estimate if present, else any single estimate).
+func (s Stats) EstimateBps(origin string) int64 {
+	if v, ok := s.EstimatesBps[origin]; ok {
+		return v
+	}
+	if origin == "" && len(s.EstimatesBps) == 1 {
+		for _, v := range s.EstimatesBps {
+			return v
+		}
+	}
+	return 0
+}
+
+// NewProxy builds a proxy over catalog that fetches misses from
+// originURL (e.g. "http://127.0.0.1:8080") and manages placement with
+// cache. The estimator defaults to a passive EWMA with alpha 0.3.
+func NewProxy(catalog *Catalog, cache *core.Cache, originURL string) (*Proxy, error) {
+	if catalog == nil {
+		return nil, fmt.Errorf("%w: nil catalog", ErrBadProxy)
+	}
+	if cache == nil {
+		return nil, fmt.Errorf("%w: nil cache", ErrBadProxy)
+	}
+	if originURL == "" {
+		return nil, fmt.Errorf("%w: empty origin URL", ErrBadProxy)
+	}
+	return &Proxy{
+		catalog:    catalog,
+		originURL:  originURL,
+		client:     &http.Client{},
+		cache:      cache,
+		store:      NewPrefixStore(),
+		estimators: make(map[string]bandwidth.Estimator),
+		start:      time.Now(),
+	}, nil
+}
+
+// originFor returns the base URL of the origin storing meta.
+func (p *Proxy) originFor(meta Meta) string {
+	if meta.Origin != "" {
+		return meta.Origin
+	}
+	return p.originURL
+}
+
+// estimatorFor returns (creating on first use) the passive bandwidth
+// estimator of the path to the given origin. Callers must hold p.mu.
+func (p *Proxy) estimatorFor(origin string) bandwidth.Estimator {
+	est := p.estimators[origin]
+	if est == nil {
+		e, err := bandwidth.NewEWMA(0.3)
+		if err != nil {
+			// 0.3 is a valid constant alpha; NewEWMA cannot fail on it.
+			panic(fmt.Sprintf("proxy: estimator: %v", err))
+		}
+		est = e
+		p.estimators[origin] = est
+	}
+	return est
+}
+
+// ServeHTTP routes /objects/<id> to the joint-delivery path and /stats to
+// the counters.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Path == "/stats" {
+		p.serveStats(w)
+		return
+	}
+	id, ok := parseObjectPath(req.URL.Path)
+	if !ok {
+		http.NotFound(w, req)
+		return
+	}
+	meta, ok := p.catalog.Get(id)
+	if !ok {
+		http.NotFound(w, req)
+		return
+	}
+	p.serveObject(w, meta)
+}
+
+func (p *Proxy) serveStats(w http.ResponseWriter) {
+	stats := p.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(stats); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Quiesce blocks until every in-flight object request has finished,
+// including post-relay cache reconciliation. Use it before shutdown or
+// before inspecting cache state from outside the request path.
+func (p *Proxy) Quiesce() { p.inflight.Wait() }
+
+// serveObject implements joint delivery: cached prefix first, origin
+// remainder streamed behind it, with opportunistic prefix growth.
+func (p *Proxy) serveObject(w http.ResponseWriter, meta Meta) {
+	p.inflight.Add(1)
+	defer p.inflight.Done()
+	obj := core.Object{
+		ID:       meta.ID,
+		Size:     meta.Size,
+		Duration: meta.Duration,
+		Rate:     meta.Rate,
+		Value:    meta.Value,
+	}
+
+	origin := p.originFor(meta)
+	p.mu.Lock()
+	now := time.Since(p.start).Seconds()
+	res := p.cache.Access(obj, p.estimatorFor(origin).Estimate(), now)
+	// Release byte storage for whatever the cache evicted.
+	for _, v := range res.Victims {
+		p.store.Truncate(v.ID, p.cache.CachedBytes(v.ID))
+	}
+	if res.CachedAfter < p.store.Len(meta.ID) {
+		p.store.Truncate(meta.ID, res.CachedAfter)
+	}
+	retainTarget := res.CachedAfter
+	p.stats.Requests++
+	p.mu.Unlock()
+
+	prefix := p.store.Prefix(meta.ID)
+	if int64(len(prefix)) > meta.Size {
+		prefix = prefix[:meta.Size]
+	}
+
+	w.Header().Set("Content-Length", strconv.FormatInt(meta.Size, 10))
+	w.Header().Set("Content-Type", "video/mpeg")
+	if len(prefix) > 0 {
+		w.Header().Set("X-Cache", fmt.Sprintf("HIT-PREFIX; bytes=%d", len(prefix)))
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+
+	// Phase 1: the cached prefix flows at cache-client speed.
+	if len(prefix) > 0 {
+		if _, err := w.Write(prefix); err != nil {
+			return
+		}
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		p.mu.Lock()
+		p.stats.PrefixHits++
+		p.stats.BytesFromHit += int64(len(prefix))
+		p.mu.Unlock()
+	}
+
+	// Phase 2: relay the remainder from the origin, observing throughput
+	// and retaining bytes the cache granted.
+	remainderStart := int64(len(prefix))
+	if remainderStart >= meta.Size {
+		return
+	}
+	fetched, err := p.relayRemainder(w, meta, origin, remainderStart, retainTarget)
+	p.mu.Lock()
+	p.stats.BytesFetched += fetched
+	// If the relay died before materializing the granted prefix bytes,
+	// give the un-materialized accounting back to the cache.
+	if stored := p.store.Len(meta.ID); stored < p.cache.CachedBytes(meta.ID) {
+		p.cache.Truncate(meta.ID, stored)
+	}
+	p.mu.Unlock()
+	_ = err // client disconnects and origin failures both just end the response
+}
+
+// relayRemainder streams bytes [start, meta.Size) from the given origin
+// to w, appending to the prefix store up to retainTarget bytes. It
+// returns the number of bytes relayed.
+func (p *Proxy) relayRemainder(w http.ResponseWriter, meta Meta, origin string, start, retainTarget int64) (int64, error) {
+	url := fmt.Sprintf("%s/objects/%d", origin, meta.ID)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return 0, fmt.Errorf("proxy: build origin request: %w", err)
+	}
+	if start > 0 {
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", start))
+	}
+	fetchStart := time.Now()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("proxy: origin fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusPartialContent {
+		return 0, fmt.Errorf("proxy: origin status %s", resp.Status)
+	}
+
+	var relayed int64
+	buf := make([]byte, 16*1024)
+	offset := start
+	for {
+		n, readErr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, err := w.Write(buf[:n]); err != nil {
+				return relayed, fmt.Errorf("proxy: client write: %w", err)
+			}
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			if offset < retainTarget {
+				p.store.AppendAt(meta.ID, offset, buf[:n], retainTarget)
+			}
+			offset += int64(n)
+			relayed += int64(n)
+		}
+		if readErr == io.EOF {
+			break
+		}
+		if readErr != nil {
+			return relayed, fmt.Errorf("proxy: origin read: %w", readErr)
+		}
+	}
+	// Passive measurement: throughput of this completed transfer on this
+	// origin's path.
+	if elapsed := time.Since(fetchStart).Seconds(); elapsed > 0 && relayed > 0 {
+		p.mu.Lock()
+		p.estimatorFor(origin).Observe(float64(relayed) / elapsed)
+		p.mu.Unlock()
+	}
+	return relayed, nil
+}
+
+// Snapshot returns the current stats (test and tooling hook).
+func (p *Proxy) Snapshot() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.UsedBytes = p.cache.Used()
+	s.Objects = p.cache.Len()
+	s.EstimatesBps = make(map[string]int64, len(p.estimators))
+	for origin, est := range p.estimators {
+		s.EstimatesBps[origin] = int64(est.Estimate())
+	}
+	return s
+}

@@ -1,0 +1,96 @@
+package proxy
+
+import "sync"
+
+// PrefixStore holds the actual bytes of cached object prefixes. The
+// core.Cache accounts for space and decides placement; the store
+// materializes the data. It is safe for concurrent use.
+type PrefixStore struct {
+	mu   sync.RWMutex
+	data map[int][]byte
+}
+
+// NewPrefixStore returns an empty store.
+func NewPrefixStore() *PrefixStore {
+	return &PrefixStore{data: make(map[int][]byte)}
+}
+
+// Prefix returns a copy of object id's cached prefix (nil when absent).
+func (s *PrefixStore) Prefix(id int) []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p := s.data[id]
+	if len(p) == 0 {
+		return nil
+	}
+	out := make([]byte, len(p))
+	copy(out, p)
+	return out
+}
+
+// Len returns the stored prefix length of object id.
+func (s *PrefixStore) Len(id int) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return int64(len(s.data[id]))
+}
+
+// AppendAt extends object id's prefix with data that belongs at the
+// given object offset, but never beyond limit bytes total. Because
+// object content at a given offset is immutable, overlapping writes from
+// concurrent relays are deduplicated: bytes already present are skipped,
+// and data arriving beyond the current prefix end (a gap) is dropped.
+// It returns the number of bytes retained.
+func (s *PrefixStore) AppendAt(id int, offset int64, data []byte, limit int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.data[id]
+	curLen := int64(len(cur))
+	if offset > curLen {
+		return 0 // non-contiguous: would leave a hole
+	}
+	skip := curLen - offset
+	if skip >= int64(len(data)) {
+		return 0 // entirely already present
+	}
+	data = data[skip:]
+	room := limit - curLen
+	if room <= 0 {
+		return 0
+	}
+	take := int64(len(data))
+	if take > room {
+		take = room
+	}
+	s.data[id] = append(cur, data[:take]...)
+	return take
+}
+
+// Truncate shrinks object id's prefix to at most n bytes, deleting it
+// entirely at zero.
+func (s *PrefixStore) Truncate(id int, n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.data[id]
+	if !ok {
+		return
+	}
+	if n <= 0 {
+		delete(s.data, id)
+		return
+	}
+	if int64(len(cur)) > n {
+		s.data[id] = cur[:n:n]
+	}
+}
+
+// TotalBytes returns the sum of all stored prefix lengths.
+func (s *PrefixStore) TotalBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for _, p := range s.data {
+		total += int64(len(p))
+	}
+	return total
+}

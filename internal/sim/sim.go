@@ -1,0 +1,312 @@
+// Package sim drives the partial-caching algorithms with synthetic
+// workloads and bandwidth models, reproducing the evaluation methodology
+// of Sections 3-4: each run warms the cache with the first half of the
+// workload and computes metrics over the second half; reported results
+// average several independently seeded runs (the paper uses ten).
+//
+// Metrics follow Section 3.3:
+//
+//   - traffic reduction ratio: fraction of requested bytes served by the cache
+//   - average service delay: mean client wait before playout can begin
+//   - average stream quality: mean fraction of the stream immediate playout sustains
+//   - total added value: summed object values of immediately-servable requests
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"streamcache/internal/bandwidth"
+	"streamcache/internal/core"
+	"streamcache/internal/workload"
+)
+
+// ErrBadConfig reports an invalid simulation configuration.
+var ErrBadConfig = errors.New("sim: invalid configuration")
+
+// EstimatorFactory builds the per-path bandwidth estimator the cache
+// consults; pathMean is the path's true long-term mean bandwidth.
+type EstimatorFactory func(pathMean float64) bandwidth.Estimator
+
+// OracleEstimator models a cache that knows each path's average
+// bandwidth - the assumption behind the paper's main experiments.
+func OracleEstimator(pathMean float64) bandwidth.Estimator {
+	return &bandwidth.Static{Rate: pathMean}
+}
+
+// UnderestimatingOracle returns an oracle scaled by the factor e - the
+// over-provisioning heuristic swept in Figures 9 and 12.
+func UnderestimatingOracle(e float64) EstimatorFactory {
+	return func(pathMean float64) bandwidth.Estimator {
+		return &bandwidth.Underestimator{Inner: &bandwidth.Static{Rate: pathMean}, Factor: e}
+	}
+}
+
+// EWMAEstimator returns a passive estimator (Section 2.7) that averages
+// the throughput of completed transfers with the given smoothing factor.
+func EWMAEstimator(alpha float64) EstimatorFactory {
+	return func(float64) bandwidth.Estimator {
+		e, err := bandwidth.NewEWMA(alpha)
+		if err != nil {
+			// alpha is validated by Config.normalize before any call.
+			panic(fmt.Sprintf("sim: EWMA factory: %v", err))
+		}
+		return e
+	}
+}
+
+// Default transport parameters for the active-probing model.
+const (
+	probeMSS = 1460
+	probeRTT = 100 * time.Millisecond
+	probeRTO = 400 * time.Millisecond
+)
+
+// ActiveProbeEstimator returns the active-measurement alternative of
+// Section 2.7: each path gets loss/RTT conditions consistent (via the
+// Padhye model) with its true mean bandwidth, and the cache re-probes
+// the path with the given relative measurement noise after every
+// transfer. This is the Section 6 "integrate active bandwidth
+// measurement into proxy caches" direction.
+func ActiveProbeEstimator(jitter float64) EstimatorFactory {
+	return func(pathMean float64) bandwidth.Estimator {
+		if pathMean < 1024 {
+			pathMean = 1024
+		}
+		cond, err := bandwidth.ConditionsForRate(pathMean, probeMSS, probeRTT, probeRTO, 1)
+		if err != nil {
+			panic(fmt.Sprintf("sim: active probe conditions: %v", err))
+		}
+		seed := int64(math.Float64bits(pathMean)) ^ 0x41C64E6D
+		p, err := bandwidth.NewActiveProber(cond, probeMSS, probeRTO, 1, jitter, seed)
+		if err != nil {
+			panic(fmt.Sprintf("sim: active prober: %v", err))
+		}
+		return &reprobingEstimator{prober: p}
+	}
+}
+
+// reprobingEstimator re-probes the path whenever a transfer completes,
+// so each access sees a fresh active measurement.
+type reprobingEstimator struct {
+	prober *bandwidth.ActiveProber
+}
+
+func (r *reprobingEstimator) Estimate() float64 { return r.prober.Estimate() }
+
+func (r *reprobingEstimator) Observe(float64) {
+	// A failed probe keeps the previous estimate; active measurement is
+	// best-effort.
+	_, _ = r.prober.Probe()
+}
+
+// Config parameterizes one experiment.
+type Config struct {
+	// Workload configures the synthetic access trace (defaults: Table 1).
+	Workload workload.Config
+	// CacheBytes is the proxy cache capacity.
+	CacheBytes int64
+	// Policy is the replacement policy under test. With Runs > 1 the
+	// same instance drives parallel runs, so implementations must be
+	// stateless or safe for concurrent use (all built-in policies are
+	// stateless except the GreedyDual-Size family).
+	Policy core.Policy
+	// PolicyFactory, when set, builds a fresh policy per run and takes
+	// precedence over Policy. Required for stateful policies such as
+	// GDS/GDSP, whose aging value must not be shared across runs.
+	PolicyFactory func() core.Policy
+	// CacheOptions tweak cache mechanics (e.g. whole-object eviction).
+	CacheOptions []core.Option
+	// Base draws each path's mean bandwidth (default: NLANR, Figure 2).
+	Base bandwidth.Model
+	// Variation draws per-request sample-to-mean ratios (default: none).
+	Variation bandwidth.Variability
+	// Estimators builds the per-path estimator (default: oracle mean).
+	Estimators EstimatorFactory
+	// WarmFraction of requests warms the cache before metrics are
+	// recorded (default 0.5, as in Section 4.1).
+	WarmFraction float64
+	// Runs averages this many independently seeded runs (default 1).
+	Runs int
+	// Seed is the base seed; run r uses Seed + r.
+	Seed int64
+}
+
+func (c Config) normalize() (Config, error) {
+	if c.CacheBytes < 0 {
+		return c, fmt.Errorf("%w: CacheBytes=%d", ErrBadConfig, c.CacheBytes)
+	}
+	if c.Policy == nil && c.PolicyFactory == nil {
+		return c, fmt.Errorf("%w: nil Policy and no PolicyFactory", ErrBadConfig)
+	}
+	if c.Base == nil {
+		c.Base = bandwidth.NLANR()
+	}
+	if c.Variation == nil {
+		c.Variation = bandwidth.NoVariation{}
+	}
+	if c.Estimators == nil {
+		c.Estimators = OracleEstimator
+	}
+	if c.WarmFraction == 0 {
+		c.WarmFraction = 0.5
+	}
+	if c.WarmFraction < 0 || c.WarmFraction >= 1 {
+		return c, fmt.Errorf("%w: WarmFraction=%v, want in [0,1)", ErrBadConfig, c.WarmFraction)
+	}
+	if c.Runs == 0 {
+		c.Runs = 1
+	}
+	if c.Runs < 0 {
+		return c, fmt.Errorf("%w: Runs=%d", ErrBadConfig, c.Runs)
+	}
+	return c, nil
+}
+
+// Metrics are the Section 3.3 performance measures, averaged over the
+// measurement phase of all runs.
+type Metrics struct {
+	Requests              int     // measured requests per run
+	TrafficReductionRatio float64 // bytes served from cache / total requested bytes
+	AvgServiceDelay       float64 // seconds
+	AvgStreamQuality      float64 // fraction in [0, 1]
+	TotalAddedValue       float64 // dollars earned from immediately-servable requests
+	HitRatio              float64 // fraction of requests finding any cached prefix
+	EvictedBytes          int64   // eviction churn during measurement
+}
+
+// Run executes the experiment and returns metrics averaged over
+// cfg.Runs seeded runs. Runs are independent and execute in parallel;
+// results are aggregated in run order, so Run is deterministic for a
+// given configuration.
+func Run(cfg Config) (Metrics, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return Metrics{}, err
+	}
+	results := make([]Metrics, cfg.Runs)
+	errs := make([]error, cfg.Runs)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.Runs; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r], errs[r] = runOnce(cfg, cfg.Seed+int64(r))
+		}(r)
+	}
+	wg.Wait()
+	var agg Metrics
+	for r := 0; r < cfg.Runs; r++ {
+		if errs[r] != nil {
+			return Metrics{}, fmt.Errorf("sim: run %d: %w", r, errs[r])
+		}
+		m := results[r]
+		agg.Requests += m.Requests
+		agg.TrafficReductionRatio += m.TrafficReductionRatio
+		agg.AvgServiceDelay += m.AvgServiceDelay
+		agg.AvgStreamQuality += m.AvgStreamQuality
+		agg.TotalAddedValue += m.TotalAddedValue
+		agg.HitRatio += m.HitRatio
+		agg.EvictedBytes += m.EvictedBytes
+	}
+	n := float64(cfg.Runs)
+	agg.Requests /= cfg.Runs
+	agg.TrafficReductionRatio /= n
+	agg.AvgServiceDelay /= n
+	agg.AvgStreamQuality /= n
+	agg.TotalAddedValue /= n
+	agg.HitRatio /= n
+	agg.EvictedBytes /= int64(cfg.Runs)
+	return agg, nil
+}
+
+func runOnce(cfg Config, seed int64) (Metrics, error) {
+	wcfg := cfg.Workload
+	wcfg.Seed = seed
+	wl, err := workload.Generate(wcfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	policy := cfg.Policy
+	if cfg.PolicyFactory != nil {
+		policy = cfg.PolicyFactory()
+	}
+	cache, err := core.New(cfg.CacheBytes, policy, cfg.CacheOptions...)
+	if err != nil {
+		return Metrics{}, err
+	}
+	// Independent stream for network conditions so that workload and
+	// bandwidth randomness do not interfere.
+	netRNG := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
+
+	// Assign each object's origin path a mean bandwidth and estimator.
+	paths := make([]bandwidth.Path, len(wl.Objects))
+	estimators := make([]bandwidth.Estimator, len(wl.Objects))
+	for i := range wl.Objects {
+		mean := cfg.Base.Sample(netRNG)
+		paths[i] = bandwidth.Path{MeanRate: mean, Variation: cfg.Variation}
+		estimators[i] = cfg.Estimators(mean)
+	}
+
+	warm := int(cfg.WarmFraction * float64(len(wl.Requests)))
+	var (
+		m          Metrics
+		delaySum   float64
+		qualitySum float64
+		cacheBytes float64
+		totalBytes float64
+		hits       int
+	)
+	for i, req := range wl.Requests {
+		o := wl.Objects[req.ObjectID]
+		obj := core.Object{
+			ID:       o.ID,
+			Size:     o.Size,
+			Duration: o.Duration,
+			Rate:     o.Rate,
+			Value:    o.Value,
+		}
+		inst := paths[o.ID].Instant(netRNG)
+		est := estimators[o.ID].Estimate()
+		res := cache.Access(obj, est, req.Time)
+		estimators[o.ID].Observe(inst)
+		if i < warm {
+			continue
+		}
+		m.Requests++
+		delaySum += core.StartupDelay(obj, res.HitBytes, inst)
+		qualitySum += core.StreamQuality(obj, res.HitBytes, inst)
+		if core.ImmediatelyServable(obj, res.HitBytes, inst) {
+			m.TotalAddedValue += obj.Value
+		}
+		// Traffic accounting honors partial viewing: a session that
+		// stops early only ever transfers the watched prefix.
+		watched := obj.Size
+		if req.Fraction > 0 && req.Fraction < 1 {
+			watched = int64(req.Fraction * float64(obj.Size))
+		}
+		served := res.HitBytes
+		if served > watched {
+			served = watched
+		}
+		cacheBytes += float64(served)
+		totalBytes += float64(watched)
+		if res.HitBytes > 0 {
+			hits++
+		}
+		m.EvictedBytes += res.EvictedBytes
+	}
+	if m.Requests > 0 {
+		m.AvgServiceDelay = delaySum / float64(m.Requests)
+		m.AvgStreamQuality = qualitySum / float64(m.Requests)
+		m.HitRatio = float64(hits) / float64(m.Requests)
+	}
+	if totalBytes > 0 {
+		m.TrafficReductionRatio = cacheBytes / totalBytes
+	}
+	return m, nil
+}

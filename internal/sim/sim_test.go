@@ -1,0 +1,532 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"streamcache/internal/bandwidth"
+	"streamcache/internal/core"
+	"streamcache/internal/units"
+	"streamcache/internal/workload"
+)
+
+// testWorkload is a scaled-down Table 1 workload (~79 GB unique bytes)
+// that keeps the unit tests fast while preserving the Zipf/Poisson/
+// Lognormal structure.
+func testWorkload() workload.Config {
+	return workload.Config{NumObjects: 500, NumRequests: 10000}
+}
+
+// cachePct returns a cache size that is the given percentage of the
+// expected unique-object volume of testWorkload (~79 GB).
+func cachePct(pct float64) int64 {
+	return int64(pct / 100 * 79 * float64(units.GB))
+}
+
+func runWith(t *testing.T, policy core.Policy, variation bandwidth.Variability, cacheBytes int64) Metrics {
+	t.Helper()
+	m, err := Run(Config{
+		Workload:   testWorkload(),
+		CacheBytes: cacheBytes,
+		Policy:     policy,
+		Variation:  variation,
+		Runs:       2,
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunValidation(t *testing.T) {
+	base := Config{Workload: testWorkload(), CacheBytes: 1, Policy: core.NewIF()}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "negative cache", mutate: func(c *Config) { c.CacheBytes = -1 }},
+		{name: "nil policy", mutate: func(c *Config) { c.Policy = nil }},
+		{name: "warm fraction 1", mutate: func(c *Config) { c.WarmFraction = 1 }},
+		{name: "negative warm", mutate: func(c *Config) { c.WarmFraction = -0.5 }},
+		{name: "negative runs", mutate: func(c *Config) { c.Runs = -2 }},
+		{name: "bad workload", mutate: func(c *Config) { c.Workload.NumObjects = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if _, err := Run(cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	cfg := Config{
+		Workload:   testWorkload(),
+		CacheBytes: cachePct(2),
+		Policy:     core.NewPB(),
+		Runs:       2,
+		Seed:       7,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed, different metrics:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunDifferentSeedsDiffer(t *testing.T) {
+	cfg := Config{
+		Workload:   testWorkload(),
+		CacheBytes: cachePct(2),
+		Policy:     core.NewPB(),
+		Seed:       1,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 2
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("different seeds produced identical metrics")
+	}
+}
+
+func TestMetricsInValidRanges(t *testing.T) {
+	for _, p := range []core.Policy{core.NewIF(), core.NewPB(), core.NewIB(), core.NewPBV(), core.NewIBV(), core.NewLRU()} {
+		m := runWith(t, p, bandwidth.NLANRVariability(), cachePct(5))
+		if m.TrafficReductionRatio < 0 || m.TrafficReductionRatio > 1 {
+			t.Errorf("%s: traffic reduction %v outside [0,1]", p.Name(), m.TrafficReductionRatio)
+		}
+		if m.AvgStreamQuality < 0 || m.AvgStreamQuality > 1 {
+			t.Errorf("%s: quality %v outside [0,1]", p.Name(), m.AvgStreamQuality)
+		}
+		if m.HitRatio < 0 || m.HitRatio > 1 {
+			t.Errorf("%s: hit ratio %v outside [0,1]", p.Name(), m.HitRatio)
+		}
+		if m.AvgServiceDelay < 0 || math.IsNaN(m.AvgServiceDelay) {
+			t.Errorf("%s: delay %v invalid", p.Name(), m.AvgServiceDelay)
+		}
+		if m.TotalAddedValue < 0 {
+			t.Errorf("%s: value %v negative", p.Name(), m.TotalAddedValue)
+		}
+		if m.Requests != 5000 {
+			t.Errorf("%s: measured requests %d, want 5000 (half of workload)", p.Name(), m.Requests)
+		}
+	}
+}
+
+func TestZeroCapacityBaseline(t *testing.T) {
+	m := runWith(t, core.NewIF(), bandwidth.NoVariation{}, 0)
+	if m.TrafficReductionRatio != 0 || m.HitRatio != 0 {
+		t.Errorf("zero cache: traffic=%v hits=%v, want 0", m.TrafficReductionRatio, m.HitRatio)
+	}
+	// Even without caching some requests are served immediately
+	// (abundant-bandwidth paths), so value must be positive.
+	if m.TotalAddedValue <= 0 {
+		t.Errorf("zero cache: value %v, want > 0 (free value from fast paths)", m.TotalAddedValue)
+	}
+	if m.AvgServiceDelay <= 0 {
+		t.Errorf("zero cache: delay %v, want > 0", m.AvgServiceDelay)
+	}
+}
+
+func TestWarmFractionControlsMeasurement(t *testing.T) {
+	cfg := Config{
+		Workload:     testWorkload(),
+		CacheBytes:   cachePct(2),
+		Policy:       core.NewIF(),
+		WarmFraction: 0.8,
+		Seed:         3,
+	}
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests != 2000 {
+		t.Errorf("measured requests = %d, want 2000 (20%% of 10000)", m.Requests)
+	}
+}
+
+func TestLargerCacheImprovesMetrics(t *testing.T) {
+	for _, p := range []core.Policy{core.NewIF(), core.NewIB()} {
+		small := runWith(t, p, bandwidth.NoVariation{}, cachePct(1))
+		large := runWith(t, p, bandwidth.NoVariation{}, cachePct(10))
+		if large.TrafficReductionRatio <= small.TrafficReductionRatio {
+			t.Errorf("%s: traffic reduction did not grow with cache (%v -> %v)",
+				p.Name(), small.TrafficReductionRatio, large.TrafficReductionRatio)
+		}
+		if large.AvgServiceDelay >= small.AvgServiceDelay {
+			t.Errorf("%s: delay did not fall with cache (%v -> %v)",
+				p.Name(), small.AvgServiceDelay, large.AvgServiceDelay)
+		}
+	}
+}
+
+// --- Shape assertions mirroring the paper's findings ---
+
+func TestFigure5Shapes(t *testing.T) {
+	// Constant bandwidth (Figure 5): IF achieves the highest traffic
+	// reduction, PB the least; PB the lowest delay and highest quality,
+	// IF the worst; IB in between on all three.
+	ifM := runWith(t, core.NewIF(), bandwidth.NoVariation{}, cachePct(5))
+	pbM := runWith(t, core.NewPB(), bandwidth.NoVariation{}, cachePct(5))
+	ibM := runWith(t, core.NewIB(), bandwidth.NoVariation{}, cachePct(5))
+
+	if !(ifM.TrafficReductionRatio > ibM.TrafficReductionRatio &&
+		ibM.TrafficReductionRatio > pbM.TrafficReductionRatio) {
+		t.Errorf("traffic reduction ordering IF > IB > PB violated: IF=%v IB=%v PB=%v",
+			ifM.TrafficReductionRatio, ibM.TrafficReductionRatio, pbM.TrafficReductionRatio)
+	}
+	if !(pbM.AvgServiceDelay < ibM.AvgServiceDelay && ibM.AvgServiceDelay < ifM.AvgServiceDelay) {
+		t.Errorf("delay ordering PB < IB < IF violated: PB=%v IB=%v IF=%v",
+			pbM.AvgServiceDelay, ibM.AvgServiceDelay, ifM.AvgServiceDelay)
+	}
+	if !(pbM.AvgStreamQuality > ibM.AvgStreamQuality && ibM.AvgStreamQuality > ifM.AvgStreamQuality) {
+		t.Errorf("quality ordering PB > IB > IF violated: PB=%v IB=%v IF=%v",
+			pbM.AvgStreamQuality, ibM.AvgStreamQuality, ifM.AvgStreamQuality)
+	}
+}
+
+func TestFigure6AlphaShapes(t *testing.T) {
+	// Intensifying temporal locality (larger Zipf alpha) improves both
+	// IB and PB, and preserves their relative ordering (Section 4.2).
+	run := func(p core.Policy, alpha float64) Metrics {
+		m, err := Run(Config{
+			Workload:   workload.Config{NumObjects: 500, NumRequests: 10000, ZipfAlpha: alpha},
+			CacheBytes: cachePct(5),
+			Policy:     p,
+			Runs:       2,
+			Seed:       11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	for _, mk := range []func() core.Policy{core.NewIB, core.NewPB} {
+		p := mk()
+		low, high := run(p, 0.5), run(p, 1.2)
+		if high.TrafficReductionRatio <= low.TrafficReductionRatio {
+			t.Errorf("%s: traffic reduction fell with alpha (%v -> %v)",
+				p.Name(), low.TrafficReductionRatio, high.TrafficReductionRatio)
+		}
+		if high.AvgServiceDelay >= low.AvgServiceDelay {
+			t.Errorf("%s: delay rose with alpha (%v -> %v)",
+				p.Name(), low.AvgServiceDelay, high.AvgServiceDelay)
+		}
+	}
+	ibHigh, pbHigh := run(core.NewIB(), 1.2), run(core.NewPB(), 1.2)
+	if ibHigh.TrafficReductionRatio <= pbHigh.TrafficReductionRatio {
+		t.Error("IB must keep its traffic-reduction lead at high alpha")
+	}
+	if pbHigh.AvgServiceDelay >= ibHigh.AvgServiceDelay {
+		t.Error("PB must keep its delay lead at high alpha under constant bandwidth")
+	}
+}
+
+func TestFigure7NLANRVariabilityShapes(t *testing.T) {
+	// Under NLANR-level variability (Figure 7): delays rise and quality
+	// falls for every algorithm versus constant bandwidth, and IB is no
+	// worse than PB on delay.
+	for _, mk := range []func() core.Policy{core.NewIF, core.NewPB, core.NewIB} {
+		p := mk()
+		constant := runWith(t, p, bandwidth.NoVariation{}, cachePct(5))
+		variable := runWith(t, mk(), bandwidth.NLANRVariability(), cachePct(5))
+		if variable.AvgServiceDelay <= constant.AvgServiceDelay {
+			t.Errorf("%s: variability did not increase delay (%v -> %v)",
+				p.Name(), constant.AvgServiceDelay, variable.AvgServiceDelay)
+		}
+		if variable.AvgStreamQuality >= constant.AvgStreamQuality {
+			t.Errorf("%s: variability did not degrade quality (%v -> %v)",
+				p.Name(), constant.AvgStreamQuality, variable.AvgStreamQuality)
+		}
+		// Traffic reduction is essentially unaffected (Figure 7a).
+		diff := math.Abs(variable.TrafficReductionRatio - constant.TrafficReductionRatio)
+		if diff > 0.05 {
+			t.Errorf("%s: traffic reduction moved by %v under variability, want ~unchanged", p.Name(), diff)
+		}
+	}
+	pbM := runWith(t, core.NewPB(), bandwidth.NLANRVariability(), cachePct(5))
+	ibM := runWith(t, core.NewIB(), bandwidth.NLANRVariability(), cachePct(5))
+	if ibM.AvgServiceDelay > pbM.AvgServiceDelay*1.1 {
+		t.Errorf("IB delay (%v) should be no worse than PB's (%v) under high variability",
+			ibM.AvgServiceDelay, pbM.AvgServiceDelay)
+	}
+}
+
+func TestFigure8MeasuredVariabilityShapes(t *testing.T) {
+	// Under realistic (lower) variability (Figure 8), PB again beats the
+	// integral algorithms on delay and quality.
+	ifM := runWith(t, core.NewIF(), bandwidth.MeasuredVariability(), cachePct(5))
+	pbM := runWith(t, core.NewPB(), bandwidth.MeasuredVariability(), cachePct(5))
+	ibM := runWith(t, core.NewIB(), bandwidth.MeasuredVariability(), cachePct(5))
+	if !(pbM.AvgServiceDelay < ibM.AvgServiceDelay && pbM.AvgServiceDelay < ifM.AvgServiceDelay) {
+		t.Errorf("PB delay (%v) should beat IB (%v) and IF (%v) under measured variability",
+			pbM.AvgServiceDelay, ibM.AvgServiceDelay, ifM.AvgServiceDelay)
+	}
+	if !(pbM.AvgStreamQuality > ibM.AvgStreamQuality && pbM.AvgStreamQuality > ifM.AvgStreamQuality) {
+		t.Errorf("PB quality (%v) should beat IB (%v) and IF (%v) under measured variability",
+			pbM.AvgStreamQuality, ibM.AvgStreamQuality, ifM.AvgStreamQuality)
+	}
+}
+
+func TestFigure9EstimatorShapes(t *testing.T) {
+	// Hybrid estimator sweep (Figure 9): traffic reduction decreases
+	// monotonically in e; a moderate e gives lower delay than either
+	// endpoint under NLANR variability.
+	at := func(e float64) Metrics {
+		h, err := core.NewHybrid(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runWith(t, h, bandwidth.NLANRVariability(), cachePct(5))
+	}
+	m0, mHalf, m1 := at(0), at(0.5), at(1)
+	if !(m0.TrafficReductionRatio > mHalf.TrafficReductionRatio &&
+		mHalf.TrafficReductionRatio > m1.TrafficReductionRatio) {
+		t.Errorf("traffic reduction not decreasing in e: %v, %v, %v",
+			m0.TrafficReductionRatio, mHalf.TrafficReductionRatio, m1.TrafficReductionRatio)
+	}
+	if !(mHalf.AvgServiceDelay < m0.AvgServiceDelay && mHalf.AvgServiceDelay < m1.AvgServiceDelay) {
+		t.Errorf("moderate e should minimize delay: e=0 %v, e=0.5 %v, e=1 %v",
+			m0.AvgServiceDelay, mHalf.AvgServiceDelay, m1.AvgServiceDelay)
+	}
+}
+
+func TestFigure10ValueShapesConstant(t *testing.T) {
+	// Constant bandwidth (Figure 10): IF best traffic reduction but
+	// worst value; PB-V best value but worst traffic; IB-V in between.
+	ifM := runWith(t, core.NewIF(), bandwidth.NoVariation{}, cachePct(5))
+	pbvM := runWith(t, core.NewPBV(), bandwidth.NoVariation{}, cachePct(5))
+	ibvM := runWith(t, core.NewIBV(), bandwidth.NoVariation{}, cachePct(5))
+	if !(ifM.TrafficReductionRatio > ibvM.TrafficReductionRatio &&
+		ibvM.TrafficReductionRatio > pbvM.TrafficReductionRatio) {
+		t.Errorf("traffic ordering IF > IB-V > PB-V violated: %v, %v, %v",
+			ifM.TrafficReductionRatio, ibvM.TrafficReductionRatio, pbvM.TrafficReductionRatio)
+	}
+	if !(pbvM.TotalAddedValue > ibvM.TotalAddedValue && ibvM.TotalAddedValue > ifM.TotalAddedValue) {
+		t.Errorf("value ordering PB-V > IB-V > IF violated: %v, %v, %v",
+			pbvM.TotalAddedValue, ibvM.TotalAddedValue, ifM.TotalAddedValue)
+	}
+}
+
+func TestFigure11ValueShapesVariable(t *testing.T) {
+	// Measured variability (Figure 11): IB-V yields the best value
+	// (PB-V's edge evaporates when bandwidth varies).
+	ifM := runWith(t, core.NewIF(), bandwidth.MeasuredVariability(), cachePct(5))
+	pbvM := runWith(t, core.NewPBV(), bandwidth.MeasuredVariability(), cachePct(5))
+	ibvM := runWith(t, core.NewIBV(), bandwidth.MeasuredVariability(), cachePct(5))
+	if !(ibvM.TotalAddedValue > ifM.TotalAddedValue && ibvM.TotalAddedValue > pbvM.TotalAddedValue) {
+		t.Errorf("IB-V value (%v) should beat IF (%v) and PB-V (%v) under variability",
+			ibvM.TotalAddedValue, ifM.TotalAddedValue, pbvM.TotalAddedValue)
+	}
+}
+
+func TestFigure12ValueEstimatorShapes(t *testing.T) {
+	// Value-objective estimator sweep (Figure 12): a moderate e earns
+	// more value than either extreme under NLANR variability.
+	at := func(e float64) Metrics {
+		h, err := core.NewHybridV(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runWith(t, h, bandwidth.NLANRVariability(), cachePct(5))
+	}
+	m0, mMid, m1 := at(0), at(0.35), at(1)
+	if !(mMid.TotalAddedValue > m0.TotalAddedValue && mMid.TotalAddedValue > m1.TotalAddedValue) {
+		t.Errorf("moderate e should maximize value: e=0 %v, e=0.35 %v, e=1 %v",
+			m0.TotalAddedValue, mMid.TotalAddedValue, m1.TotalAddedValue)
+	}
+}
+
+func TestEWMAEstimatorRuns(t *testing.T) {
+	m, err := Run(Config{
+		Workload:   testWorkload(),
+		CacheBytes: cachePct(5),
+		Policy:     core.NewPB(),
+		Variation:  bandwidth.MeasuredVariability(),
+		Estimators: EWMAEstimator(0.3),
+		Seed:       13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TrafficReductionRatio <= 0 {
+		t.Errorf("EWMA run: traffic reduction %v, want > 0", m.TrafficReductionRatio)
+	}
+}
+
+func TestUnderestimatingOracleMatchesHybridDirection(t *testing.T) {
+	// PB + UnderestimatingOracle(0) must cache whole objects like IB:
+	// its traffic reduction should exceed plain PB's.
+	pb := runWith(t, core.NewPB(), bandwidth.NoVariation{}, cachePct(5))
+	m, err := Run(Config{
+		Workload:   testWorkload(),
+		CacheBytes: cachePct(5),
+		Policy:     core.NewPB(),
+		Estimators: UnderestimatingOracle(0),
+		Runs:       2,
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TrafficReductionRatio <= pb.TrafficReductionRatio {
+		t.Errorf("underestimating oracle traffic %v should exceed plain PB %v",
+			m.TrafficReductionRatio, pb.TrafficReductionRatio)
+	}
+}
+
+func TestWholeObjectEvictionOption(t *testing.T) {
+	m, err := Run(Config{
+		Workload:     testWorkload(),
+		CacheBytes:   cachePct(5),
+		Policy:       core.NewIF(),
+		CacheOptions: []core.Option{core.WithWholeObjectEviction(true)},
+		Seed:         17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TrafficReductionRatio <= 0 {
+		t.Errorf("whole-object eviction run: traffic %v, want > 0", m.TrafficReductionRatio)
+	}
+}
+
+func TestPartialViewingReducesMeasuredTraffic(t *testing.T) {
+	base := Config{
+		Workload:   testWorkload(),
+		CacheBytes: cachePct(5),
+		Policy:     core.NewIF(),
+		Runs:       2,
+		Seed:       23,
+	}
+	full, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := base
+	partial.Workload.PartialViewProb = 0.6
+	got, err := Run(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 60% of sessions stopping early the absolute transferred
+	// volume shrinks; the reduction *ratio* should stay in a sane range.
+	if got.TrafficReductionRatio <= 0 || got.TrafficReductionRatio > 1 {
+		t.Errorf("partial-viewing traffic ratio %v invalid", got.TrafficReductionRatio)
+	}
+	// Prefix caching is relatively more effective for partial viewers
+	// (they only ever want the head of the stream), so the reduction
+	// ratio must not collapse versus full sessions.
+	if got.TrafficReductionRatio < full.TrafficReductionRatio*0.8 {
+		t.Errorf("partial viewing ratio %v collapsed vs full %v",
+			got.TrafficReductionRatio, full.TrafficReductionRatio)
+	}
+}
+
+func TestActiveProbeEstimatorRuns(t *testing.T) {
+	m, err := Run(Config{
+		Workload:   testWorkload(),
+		CacheBytes: cachePct(5),
+		Policy:     core.NewPB(),
+		Variation:  bandwidth.MeasuredVariability(),
+		Estimators: ActiveProbeEstimator(0.1),
+		Runs:       2,
+		Seed:       29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TrafficReductionRatio <= 0 {
+		t.Errorf("active probing run cached nothing: %+v", m)
+	}
+	if m.AvgStreamQuality <= 0.5 {
+		t.Errorf("active probing run degenerate quality %v", m.AvgStreamQuality)
+	}
+}
+
+func TestActiveProbeDeterministic(t *testing.T) {
+	cfg := Config{
+		Workload:   testWorkload(),
+		CacheBytes: cachePct(2),
+		Policy:     core.NewPB(),
+		Estimators: ActiveProbeEstimator(0.2),
+		Seed:       31,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("active probing not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestPolicyFactoryPerRun(t *testing.T) {
+	// Stateful GDSP must work across parallel runs via the factory.
+	m, err := Run(Config{
+		Workload:      testWorkload(),
+		CacheBytes:    cachePct(5),
+		PolicyFactory: core.NewGDSP,
+		Runs:          3,
+		Seed:          37,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TrafficReductionRatio <= 0 {
+		t.Errorf("GDSP factory run cached nothing: %+v", m)
+	}
+	// Determinism must hold with factories too.
+	m2, err := Run(Config{
+		Workload:      testWorkload(),
+		CacheBytes:    cachePct(5),
+		PolicyFactory: core.NewGDSP,
+		Runs:          3,
+		Seed:          37,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != m2 {
+		t.Errorf("factory runs not deterministic:\n%+v\n%+v", m, m2)
+	}
+}
+
+func TestGDSPBehavesLikeNetworkAwarePolicy(t *testing.T) {
+	// GDSP with the bandwidth cost should beat frequency-only IF on
+	// delay (it shares the F/b core with IB, plus aging).
+	ifM := runWith(t, core.NewIF(), bandwidth.NoVariation{}, cachePct(5))
+	gdsp, err := Run(Config{
+		Workload:      testWorkload(),
+		CacheBytes:    cachePct(5),
+		PolicyFactory: core.NewGDSP,
+		Runs:          2,
+		Seed:          42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gdsp.AvgServiceDelay >= ifM.AvgServiceDelay {
+		t.Errorf("GDSP delay %v, want below IF's %v", gdsp.AvgServiceDelay, ifM.AvgServiceDelay)
+	}
+}

@@ -1,0 +1,24 @@
+// Package units centralizes the byte-size and rate conventions used across
+// the repository. Sizes are int64 bytes; rates are float64 bytes per
+// second. The paper reports rates in KB/s with KB = 1024 bytes (e.g. the
+// 48 KB/s object bit-rate = 2 KB/frame x 24 frames/s).
+package units
+
+// Byte-size multipliers.
+const (
+	KB int64 = 1024
+	MB       = 1024 * KB
+	GB       = 1024 * MB
+)
+
+// KBps converts a KB/s figure to bytes/s.
+func KBps(v float64) float64 { return v * float64(KB) }
+
+// ToKBps converts bytes/s to KB/s for reporting.
+func ToKBps(v float64) float64 { return v / float64(KB) }
+
+// GBytes converts a GB figure to bytes.
+func GBytes(v float64) int64 { return int64(v * float64(GB)) }
+
+// ToGBytes converts bytes to GB for reporting.
+func ToGBytes(v int64) float64 { return float64(v) / float64(GB) }

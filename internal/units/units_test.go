@@ -1,0 +1,34 @@
+package units
+
+import "testing"
+
+func TestByteMultipliers(t *testing.T) {
+	if KB != 1024 || MB != 1024*1024 || GB != 1024*1024*1024 {
+		t.Errorf("KB/MB/GB = %d/%d/%d", KB, MB, GB)
+	}
+}
+
+func TestRateConversions(t *testing.T) {
+	if got := KBps(48); got != 48*1024 {
+		t.Errorf("KBps(48) = %v, want 49152", got)
+	}
+	if got := ToKBps(49152); got != 48 {
+		t.Errorf("ToKBps(49152) = %v, want 48", got)
+	}
+	// Round trip.
+	if got := ToKBps(KBps(123.5)); got != 123.5 {
+		t.Errorf("round trip = %v, want 123.5", got)
+	}
+}
+
+func TestSizeConversions(t *testing.T) {
+	if got := GBytes(2); got != 2*GB {
+		t.Errorf("GBytes(2) = %d, want %d", got, 2*GB)
+	}
+	if got := ToGBytes(GB / 2); got != 0.5 {
+		t.Errorf("ToGBytes(GB/2) = %v, want 0.5", got)
+	}
+	if got := GBytes(0.25); got != GB/4 {
+		t.Errorf("GBytes(0.25) = %d, want %d", got, GB/4)
+	}
+}

@@ -1,0 +1,221 @@
+// Package workload synthesizes streaming-media access workloads in the
+// style of the GISMO toolset [18], configured exactly as the paper's
+// Table 1: N=5000 unique objects with Zipf-like popularity (alpha=0.73),
+// 100,000 Poisson-arriving requests, Lognormal(3.85, 0.56) object
+// durations in minutes, and a 48 KB/s constant bit-rate (2 KB/frame x 24
+// frames/s), giving ~790 GB of unique object data. Object values for the
+// revenue experiments (Section 2.6) are uniform on [$1, $10].
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"streamcache/internal/dist"
+	"streamcache/internal/units"
+)
+
+// ErrBadConfig reports an invalid workload configuration.
+var ErrBadConfig = errors.New("workload: invalid configuration")
+
+// Object is one streaming media object.
+type Object struct {
+	ID       int
+	Rank     int     // popularity rank, 1 = hottest
+	Duration float64 // playback duration, seconds
+	Rate     float64 // CBR encoding rate, bytes/s
+	Size     int64   // Duration * Rate, bytes
+	Value    float64 // added value when served immediately (Section 2.6)
+}
+
+// Request is one client access. Fraction models GISMO-style user
+// interactivity: a partial-viewing session watches only the leading
+// Fraction of the stream (1 = watches to the end).
+type Request struct {
+	Time     float64 // seconds since workload start
+	ObjectID int
+	Fraction float64 // watched fraction of the stream, in (0, 1]
+}
+
+// Config parameterizes workload generation. Zero fields take the Table 1
+// defaults via Normalize.
+type Config struct {
+	NumObjects    int     // unique objects (default 5000)
+	NumRequests   int     // total requests (default 100000)
+	ZipfAlpha     float64 // popularity skew (default 0.73)
+	DurationMu    float64 // lognormal mu of duration in minutes (default 3.85)
+	DurationSigma float64 // lognormal sigma (default 0.56)
+	BytesPerFrame int64   // default 2 KB
+	FramesPerSec  float64 // default 24
+	RequestRate   float64 // Poisson arrival rate, requests/s (default 1)
+	ValueMin      float64 // default $1
+	ValueMax      float64 // default $10
+	// PartialViewProb is the probability a session stops early (GISMO
+	// user interactivity; default 0 = everyone watches to the end).
+	PartialViewProb float64
+	// MinViewFraction bounds how early a partial viewer may stop; the
+	// watched fraction is uniform on [MinViewFraction, 1) (default 0.05).
+	MinViewFraction float64
+	Seed            int64
+}
+
+// Normalize fills zero fields with the paper's Table 1 defaults and
+// validates the result.
+func (c Config) Normalize() (Config, error) {
+	if c.NumObjects == 0 {
+		c.NumObjects = 5000
+	}
+	if c.NumRequests == 0 {
+		c.NumRequests = 100000
+	}
+	if c.ZipfAlpha == 0 {
+		c.ZipfAlpha = 0.73
+	}
+	if c.DurationMu == 0 {
+		c.DurationMu = 3.85
+	}
+	if c.DurationSigma == 0 {
+		c.DurationSigma = 0.56
+	}
+	if c.BytesPerFrame == 0 {
+		c.BytesPerFrame = 2 * units.KB
+	}
+	if c.FramesPerSec == 0 {
+		c.FramesPerSec = 24
+	}
+	if c.RequestRate == 0 {
+		c.RequestRate = 1
+	}
+	if c.ValueMin == 0 && c.ValueMax == 0 {
+		c.ValueMin, c.ValueMax = 1, 10
+	}
+	if c.MinViewFraction == 0 {
+		c.MinViewFraction = 0.05
+	}
+	switch {
+	case c.PartialViewProb < 0 || c.PartialViewProb > 1 || math.IsNaN(c.PartialViewProb):
+		return c, fmt.Errorf("%w: PartialViewProb=%v", ErrBadConfig, c.PartialViewProb)
+	case c.MinViewFraction < 0 || c.MinViewFraction > 1 || math.IsNaN(c.MinViewFraction):
+		return c, fmt.Errorf("%w: MinViewFraction=%v", ErrBadConfig, c.MinViewFraction)
+	}
+	switch {
+	case c.NumObjects < 0:
+		return c, fmt.Errorf("%w: NumObjects=%d", ErrBadConfig, c.NumObjects)
+	case c.NumRequests < 0:
+		return c, fmt.Errorf("%w: NumRequests=%d", ErrBadConfig, c.NumRequests)
+	case c.ZipfAlpha < 0 || math.IsNaN(c.ZipfAlpha):
+		return c, fmt.Errorf("%w: ZipfAlpha=%v", ErrBadConfig, c.ZipfAlpha)
+	case c.DurationSigma < 0:
+		return c, fmt.Errorf("%w: DurationSigma=%v", ErrBadConfig, c.DurationSigma)
+	case c.BytesPerFrame < 0:
+		return c, fmt.Errorf("%w: BytesPerFrame=%d", ErrBadConfig, c.BytesPerFrame)
+	case c.FramesPerSec < 0 || math.IsNaN(c.FramesPerSec):
+		return c, fmt.Errorf("%w: FramesPerSec=%v", ErrBadConfig, c.FramesPerSec)
+	case c.RequestRate < 0 || math.IsNaN(c.RequestRate):
+		return c, fmt.Errorf("%w: RequestRate=%v", ErrBadConfig, c.RequestRate)
+	case c.ValueMax < c.ValueMin:
+		return c, fmt.Errorf("%w: ValueMax=%v < ValueMin=%v", ErrBadConfig, c.ValueMax, c.ValueMin)
+	}
+	return c, nil
+}
+
+// Rate returns the CBR object rate in bytes/s.
+func (c Config) Rate() float64 { return float64(c.BytesPerFrame) * c.FramesPerSec }
+
+// Workload is a generated object catalog plus request trace.
+type Workload struct {
+	Config   Config
+	Objects  []Object // indexed by ID
+	Requests []Request
+}
+
+// Generate builds a workload from cfg (zero fields default to Table 1).
+func Generate(cfg Config) (*Workload, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NumObjects == 0 {
+		return nil, fmt.Errorf("%w: no objects", ErrBadConfig)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	durations := dist.Lognormal{Mu: cfg.DurationMu, Sigma: cfg.DurationSigma}
+	values := dist.Uniform{Min: cfg.ValueMin, Max: cfg.ValueMax}
+	rate := cfg.Rate()
+
+	objects := make([]Object, cfg.NumObjects)
+	for i := range objects {
+		durSeconds := durations.Sample(rng) * 60
+		objects[i] = Object{
+			ID:       i,
+			Rank:     i + 1, // IDs are assigned in popularity order
+			Duration: durSeconds,
+			Rate:     rate,
+			Size:     int64(durSeconds * rate),
+			Value:    values.Sample(rng),
+		}
+	}
+
+	zipf, err := dist.NewZipf(cfg.NumObjects, cfg.ZipfAlpha)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	proc, err := dist.NewPoissonProcess(cfg.RequestRate)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	requests := make([]Request, cfg.NumRequests)
+	for i := range requests {
+		frac := 1.0
+		if cfg.PartialViewProb > 0 && rng.Float64() < cfg.PartialViewProb {
+			frac = cfg.MinViewFraction + rng.Float64()*(1-cfg.MinViewFraction)
+		}
+		requests[i] = Request{
+			Time:     proc.Next(rng),
+			ObjectID: zipf.Sample(rng) - 1, // rank r -> object ID r-1
+			Fraction: frac,
+		}
+	}
+	return &Workload{Config: cfg, Objects: objects, Requests: requests}, nil
+}
+
+// TotalUniqueBytes returns the summed size of all unique objects (the
+// paper's "Total Storage", ~790 GB with defaults).
+func (w *Workload) TotalUniqueBytes() int64 {
+	var total int64
+	for _, o := range w.Objects {
+		total += o.Size
+	}
+	return total
+}
+
+// Span returns the time of the last request (0 for empty workloads).
+func (w *Workload) Span() float64 {
+	if len(w.Requests) == 0 {
+		return 0
+	}
+	return w.Requests[len(w.Requests)-1].Time
+}
+
+// RequestCounts returns how many times each object is requested.
+func (w *Workload) RequestCounts() []int64 {
+	counts := make([]int64, len(w.Objects))
+	for _, r := range w.Requests {
+		counts[r.ObjectID]++
+	}
+	return counts
+}
+
+// MeanDurationSeconds returns the average object duration.
+func (w *Workload) MeanDurationSeconds() float64 {
+	if len(w.Objects) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, o := range w.Objects {
+		sum += o.Duration
+	}
+	return sum / float64(len(w.Objects))
+}

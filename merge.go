@@ -1,0 +1,58 @@
+package streamcache
+
+import (
+	"time"
+
+	"streamcache/internal/bandwidth"
+	"streamcache/internal/merge"
+)
+
+// Stream-merging types (Section 6: combining partial caching with
+// patching and batching at caching proxies).
+type (
+	// MergeObject is the stream being merged (Size bytes at Rate bytes/s).
+	MergeObject = merge.Object
+	// MergeResult summarizes one merging simulation.
+	MergeResult = merge.Result
+	// PathConditions are the loss/RTT measurables an active prober sees.
+	PathConditions = bandwidth.PathConditions
+	// ActiveProber estimates bandwidth from probed loss and RTT via the
+	// Padhye model.
+	ActiveProber = bandwidth.ActiveProber
+)
+
+// MergeUnicast serves every request with a dedicated full origin stream
+// (the merging baseline).
+func MergeUnicast(times []float64, obj MergeObject) (MergeResult, error) {
+	return merge.Unicast(times, obj)
+}
+
+// MergeBatch groups requests arriving within a window into one shared
+// origin stream, trading startup delay for bandwidth.
+func MergeBatch(times []float64, obj MergeObject, window float64) (MergeResult, error) {
+	return merge.Batch(times, obj, window)
+}
+
+// MergePatch implements threshold-based patching with an optional cached
+// prefix serving the head of every patch and full stream.
+func MergePatch(times []float64, obj MergeObject, threshold float64, cachedBytes int64) (MergeResult, error) {
+	return merge.Patch(times, obj, threshold, cachedBytes)
+}
+
+// OptimalPatchThreshold returns the bandwidth-minimizing patching
+// threshold for Poisson arrivals of the given rate.
+func OptimalPatchThreshold(lambda float64, obj MergeObject) (float64, error) {
+	return merge.OptimalPatchThreshold(lambda, obj)
+}
+
+// SplitRequestsByObject groups a time-sorted request trace into
+// per-object arrival-time slices for merge analysis.
+func SplitRequestsByObject(times []float64, objectIDs []int) (map[int][]float64, error) {
+	return merge.SplitByObject(times, objectIDs)
+}
+
+// PadhyeLossForRate inverts the Padhye throughput model, returning the
+// loss rate at which a TCP-friendly transport achieves the target rate.
+func PadhyeLossForRate(rate float64, mss int, rtt, rto time.Duration, ackedPerACK int) (float64, error) {
+	return bandwidth.PadhyeLossForRate(rate, mss, rtt, rto, ackedPerACK)
+}

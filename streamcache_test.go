@@ -1,0 +1,273 @@
+package streamcache
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// These tests exercise the repository exclusively through the public
+// facade, the way a downstream user would.
+
+func TestPublicCacheLifecycle(t *testing.T) {
+	cache, err := NewCache(1<<20, NewPB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := Object{ID: 1, Size: 1 << 19, Duration: 60, Rate: float64(1<<19) / 60}
+	res := cache.Access(obj, obj.Rate/2, 1)
+	if res.CachedAfter == 0 {
+		t.Error("PB cached nothing for an under-provisioned object")
+	}
+	if res.CachedAfter >= obj.Size {
+		t.Error("PB cached the whole object")
+	}
+	if got := StartupDelay(obj, res.CachedAfter, obj.Rate/2); got != 0 {
+		t.Errorf("delay with full deficit cached = %v, want 0", got)
+	}
+}
+
+func TestPublicPolicyByName(t *testing.T) {
+	for _, name := range []string{"IF", "PB", "IB", "PB-V", "IB-V", "LRU", "LFU"} {
+		if _, err := PolicyByName(name, 0); err != nil {
+			t.Errorf("PolicyByName(%q): %v", name, err)
+		}
+	}
+}
+
+func TestPublicSimulation(t *testing.T) {
+	m, err := RunSimulation(SimConfig{
+		Workload:   WorkloadConfig{NumObjects: 100, NumRequests: 2000},
+		CacheBytes: 1 << 30,
+		Policy:     NewIB(),
+		Variation:  MeasuredVariability(),
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests == 0 || m.TrafficReductionRatio <= 0 {
+		t.Errorf("simulation produced no useful metrics: %+v", m)
+	}
+}
+
+func TestPublicWorkloadAndOptimal(t *testing.T) {
+	w, err := GenerateWorkload(WorkloadConfig{NumObjects: 50, NumRequests: 500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]Object, len(w.Objects))
+	lambda := make([]float64, len(w.Objects))
+	bw := make([]float64, len(w.Objects))
+	model := NLANRBandwidth()
+	rng := rand.New(rand.NewSource(3))
+	for i, o := range w.Objects {
+		objs[i] = Object{ID: o.ID, Size: o.Size, Duration: o.Duration, Rate: o.Rate, Value: o.Value}
+		lambda[i] = 1
+		bw[i] = model.Sample(rng)
+	}
+	placement, err := OptimalPlacement(objs, lambda, bw, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optDelay, err := ExpectedDelay(objs, lambda, bw, placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emptyDelay, err := ExpectedDelay(objs, lambda, bw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optDelay >= emptyDelay {
+		t.Errorf("optimal placement delay %v, want below empty-cache %v", optDelay, emptyDelay)
+	}
+}
+
+func TestPublicSmoothing(t *testing.T) {
+	sched, err := Smooth([]float64{10, 50, 10, 30}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := MinimalPeakBound([]float64{10, 50, 10, 30}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sched.PeakRate(); got < bound-1e-9 || got > bound+1e-9 {
+		t.Errorf("peak %v, want bound %v", got, bound)
+	}
+}
+
+func TestPublicBandwidthTools(t *testing.T) {
+	if got, err := MathisThroughput(1460, 100*time.Millisecond, 0.01); err != nil || got <= 0 {
+		t.Errorf("MathisThroughput = (%v, %v)", got, err)
+	}
+	if got, err := PadhyeThroughput(1460, 100*time.Millisecond, 400*time.Millisecond, 0.01, 1); err != nil || got <= 0 {
+		t.Errorf("PadhyeThroughput = (%v, %v)", got, err)
+	}
+	est, err := NewEWMA(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est.Observe(100)
+	if est.Estimate() != 100 {
+		t.Error("EWMA did not track the sample")
+	}
+}
+
+func TestPublicTracePipeline(t *testing.T) {
+	entries, err := GenerateTrace(TraceGenConfig{
+		Entries:   2000,
+		Servers:   40,
+		Base:      NLANRBandwidth(),
+		Variation: NLANRVariability(),
+		Seed:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis, err := AnalyzeTrace(entries, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(analysis.Samples) == 0 {
+		t.Error("no bandwidth samples extracted")
+	}
+	dist, err := BandwidthFromSamples(analysis.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Mean() <= 0 {
+		t.Error("log-derived distribution has no mass")
+	}
+}
+
+func TestPublicProxyPrototype(t *testing.T) {
+	catalog, err := NewProxyCatalog([]ProxyMeta{{ID: 1, Size: 64 << 10, Rate: 256 << 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin, err := NewOriginServer(catalog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	originSrv := httptest.NewServer(origin)
+	defer originSrv.Close()
+	cache, err := NewCache(1<<30, NewIB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	px, err := NewAcceleratorProxy(catalog, cache, originSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxySrv := httptest.NewServer(px)
+	defer proxySrv.Close()
+
+	res, err := Fetch(proxySrv.URL + "/objects/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SHA256 != ObjectContentSHA256(1, 64<<10) {
+		t.Error("public proxy round trip corrupted content")
+	}
+}
+
+func TestPublicBandwidthSeries(t *testing.T) {
+	cfg, err := PresetSeriesConfig(PathINRIA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := GenerateBandwidthSeries(cfg, rand.New(rand.NewSource(1)), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 10 {
+		t.Errorf("series length %d, want 10", len(series))
+	}
+}
+
+func TestPublicStreamMerging(t *testing.T) {
+	obj := MergeObject{Size: 100000, Rate: 1000}
+	times := []float64{0, 10, 20, 200}
+	uni, err := MergeUnicast(times, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tStar, err := OptimalPatchThreshold(0.05, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := MergePatch(times, obj, tStar, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat.OriginBytes >= uni.OriginBytes {
+		t.Errorf("patching bytes %v, want below unicast %v", pat.OriginBytes, uni.OriginBytes)
+	}
+	cached, err := MergePatch(times, obj, tStar, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.OriginBytes >= pat.OriginBytes {
+		t.Errorf("cached patching bytes %v, want below plain patching %v", cached.OriginBytes, pat.OriginBytes)
+	}
+	batch, err := MergeBatch(times, obj, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.FullStreams >= uni.FullStreams {
+		t.Errorf("batching streams %d, want below unicast %d", batch.FullStreams, uni.FullStreams)
+	}
+	groups, err := SplitRequestsByObject(times, []int{1, 1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+func TestPublicActiveProbing(t *testing.T) {
+	loss, err := PadhyeLossForRate(100<<10, 1460, 100*time.Millisecond, 400*time.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 || loss >= 1 {
+		t.Errorf("loss = %v outside (0,1)", loss)
+	}
+	m, err := RunSimulation(SimConfig{
+		Workload:   WorkloadConfig{NumObjects: 100, NumRequests: 2000},
+		CacheBytes: 1 << 30,
+		Policy:     NewPB(),
+		Estimators: ActiveProbeEstimator(0.1),
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TrafficReductionRatio <= 0 {
+		t.Error("active probing simulation cached nothing")
+	}
+}
+
+func TestPublicPartialViewing(t *testing.T) {
+	w, err := GenerateWorkload(WorkloadConfig{
+		NumObjects:      50,
+		NumRequests:     1000,
+		PartialViewProb: 0.5,
+		Seed:            6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := 0
+	for _, r := range w.Requests {
+		if r.Fraction < 1 {
+			partial++
+		}
+	}
+	if partial == 0 {
+		t.Error("no partial-viewing sessions generated")
+	}
+}
