@@ -1,0 +1,42 @@
+GO ?= go
+
+.PHONY: all ci vet build test race bench bench-smoke fuzz-smoke figures clean
+
+all: ci
+
+## ci: everything the driver/CI gate runs, in order.
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+## test: the tier-1 gate (ROADMAP.md).
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench-smoke: one iteration of the perf-trajectory benchmarks
+## (sequential vs parallel sweep, run-level pool, cache op throughput).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkSweepSequential|BenchmarkSweepParallel8|BenchmarkSimRunParallelism|BenchmarkCacheOpThroughput' -benchtime 1x .
+
+## bench: the full benchmark suite (regenerates every figure; slow).
+bench:
+	$(GO) test -run '^$$' -bench . .
+
+## fuzz-smoke: a short fuzz of the trace parser targets.
+fuzz-smoke:
+	$(GO) test ./internal/trace/ -fuzz FuzzParseMalformed -fuzztime 10s
+	$(GO) test ./internal/trace/ -fuzz FuzzReadAll -fuzztime 10s
+
+## figures: regenerate every table/figure CSV at small scale.
+figures:
+	$(GO) run ./cmd/figures -out results
+
+clean:
+	rm -rf results

@@ -169,6 +169,71 @@ func BenchmarkAblationEstimators(b *testing.B) {
 	benchExperiment(b, experiments.AblationEstimators)
 }
 
+// sweepScale is the fixed-size grid used by the parallelism benchmarks:
+// small enough for a bench smoke, large enough (15 sweep points x 2
+// runs) that the worker pool has real work to balance.
+func sweepScale(parallelism int) experiments.Scale {
+	s := experiments.SmallScale()
+	s.Parallelism = parallelism
+	return s
+}
+
+// benchSweepParallelism regenerates the Figure 5 policy sweep at the
+// given worker count. Comparing the ns/op of the Sequential and
+// Parallel8 variants on a multi-core runner measures the engine's
+// speedup; their tables are bit-identical by the determinism contract.
+func benchSweepParallelism(b *testing.B, parallelism int) {
+	b.Helper()
+	scale := sweepScale(parallelism)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(scale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSequential is the single-worker baseline.
+func BenchmarkSweepSequential(b *testing.B) { benchSweepParallelism(b, 1) }
+
+// BenchmarkSweepParallel2 uses two sweep workers.
+func BenchmarkSweepParallel2(b *testing.B) { benchSweepParallelism(b, 2) }
+
+// BenchmarkSweepParallel8 uses eight sweep workers; on a runner with 8+
+// cores it should finish the sweep at least 2x faster than
+// BenchmarkSweepSequential.
+func BenchmarkSweepParallel8(b *testing.B) { benchSweepParallelism(b, 8) }
+
+// BenchmarkSimRunParallelism measures the run-level worker pool inside
+// a single sim.Run (8 replications) at 1, 2 and 8 workers.
+func BenchmarkSimRunParallelism(b *testing.B) {
+	for _, par := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := RunSimulation(SimConfig{
+					Workload:    WorkloadConfig{NumObjects: 500, NumRequests: 10000},
+					CacheBytes:  4 << 30,
+					Policy:      NewPB(),
+					Runs:        8,
+					Seed:        1,
+					Parallelism: par,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScenarioMatrix regenerates the new estimator x sigma x
+// policy scenario grid (36 simulations at small scale) with the default
+// GOMAXPROCS-wide pool.
+func BenchmarkScenarioMatrix(b *testing.B) {
+	benchExperiment(b, experiments.ScenarioMatrix)
+}
+
 // BenchmarkCacheOpThroughput measures raw cache Access operations per
 // second (the O(log n) heap cost of Section 2.4).
 func BenchmarkCacheOpThroughput(b *testing.B) {

@@ -39,6 +39,7 @@ var builders = []struct {
 	{"ext-partial-viewing", "extension_partial_viewing.csv", experiments.ExtensionPartialViewing},
 	{"ext-active-probing", "extension_active_probing.csv", experiments.ExtensionActiveProbing},
 	{"ext-baselines", "extension_baselines.csv", experiments.ExtensionBaselines},
+	{"scenarios", "scenario_matrix.csv", experiments.ScenarioMatrix},
 }
 
 func main() {
@@ -50,10 +51,11 @@ func main() {
 
 func run() error {
 	var (
-		out   = flag.String("out", "results", "output directory")
-		scale = flag.String("scale", "small", "experiment scale: small or paper")
-		only  = flag.String("only", "", "comma-separated experiment keys (default: all)")
-		seed  = flag.Int64("seed", 1, "base random seed")
+		out      = flag.String("out", "results", "output directory")
+		scale    = flag.String("scale", "small", "experiment scale: small or paper")
+		only     = flag.String("only", "", "comma-separated experiment keys (default: all)")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		parallel = flag.Int("parallel", 0, "worker goroutines per sweep (0 = GOMAXPROCS); tables are identical for any value")
 	)
 	flag.Parse()
 
@@ -67,11 +69,25 @@ func run() error {
 		return fmt.Errorf("unknown scale %q (want small or paper)", *scale)
 	}
 	s.Seed = *seed
+	s.Parallelism = *parallel
 
+	known := map[string]bool{}
+	keys := make([]string, 0, len(builders))
+	for _, b := range builders {
+		known[b.key] = true
+		keys = append(keys, b.key)
+	}
 	selected := map[string]bool{}
 	if *only != "" {
 		for _, k := range strings.Split(*only, ",") {
-			selected[strings.TrimSpace(k)] = true
+			k = strings.TrimSpace(k)
+			if k == "" { // tolerate trailing/doubled commas
+				continue
+			}
+			if !known[k] {
+				return fmt.Errorf("unknown experiment key %q (known: %s)", k, strings.Join(keys, ", "))
+			}
+			selected[k] = true
 		}
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {

@@ -43,6 +43,7 @@ func run() error {
 		runs        = flag.Int("runs", 3, "independently seeded runs to average")
 		seed        = flag.Int64("seed", 1, "base random seed")
 		wholeEvict  = flag.Bool("whole-eviction", false, "evict whole objects instead of prefix bytes")
+		parallel    = flag.Int("parallel", 0, "worker goroutines for runs (0 = GOMAXPROCS); metrics are identical for any value")
 	)
 	flag.Parse()
 
@@ -75,6 +76,7 @@ func run() error {
 		Estimators:   estimators,
 		Runs:         *runs,
 		Seed:         *seed,
+		Parallelism:  *parallel,
 	}
 	m, err := sim.Run(cfg)
 	if err != nil {

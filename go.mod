@@ -1,0 +1,3 @@
+module streamcache
+
+go 1.24

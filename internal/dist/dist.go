@@ -1,0 +1,149 @@
+// Package dist provides the random distributions the workload and
+// bandwidth models are built from: lognormal object durations (GISMO /
+// Table 1), uniform object values (Section 2.6), Zipf-like popularity
+// with arbitrary skew alpha (the paper uses alpha = 0.73, below the
+// range Go's stdlib Zipf accepts), and homogeneous Poisson arrival
+// processes.
+//
+// Every sampler takes the *rand.Rand explicitly so callers control the
+// random stream; none keeps hidden global state. This is what makes the
+// parallel experiment engine deterministic: each simulation run owns a
+// private rand.Rand and the distributions never share entropy across
+// runs.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrBadParam reports an invalid distribution parameter.
+var ErrBadParam = errors.New("dist: invalid parameter")
+
+// Lognormal is the distribution of exp(N(Mu, Sigma^2)).
+type Lognormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// Sample draws one lognormal variate.
+func (l Lognormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+// Mean returns the analytic mean exp(Mu + Sigma^2/2).
+func (l Lognormal) Mean() float64 {
+	return math.Exp(l.Mu + l.Sigma*l.Sigma/2)
+}
+
+// CoV returns the analytic coefficient of variation
+// sqrt(exp(Sigma^2) - 1), which depends on Sigma only.
+func (l Lognormal) CoV() float64 {
+	return math.Sqrt(math.Exp(l.Sigma*l.Sigma) - 1)
+}
+
+// MeanOne returns the lognormal with the given sigma whose mean is
+// exactly 1 (Mu = -sigma^2/2). The bandwidth package uses it for
+// sample-to-mean variability ratios, so that variability never changes
+// a path's long-term mean rate.
+func MeanOne(sigma float64) Lognormal {
+	return Lognormal{Mu: -sigma * sigma / 2, Sigma: sigma}
+}
+
+// Uniform is the continuous uniform distribution on [Min, Max).
+type Uniform struct {
+	Min float64
+	Max float64
+}
+
+// Sample draws one uniform variate.
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	return u.Min + rng.Float64()*(u.Max-u.Min)
+}
+
+// Mean returns (Min + Max) / 2.
+func (u Uniform) Mean() float64 { return (u.Min + u.Max) / 2 }
+
+// Zipf is a Zipf-like popularity distribution over ranks 1..N with
+// P(rank = r) proportional to r^-alpha. Unlike math/rand.Zipf it
+// accepts any alpha >= 0, in particular the paper's 0.73.
+type Zipf struct {
+	n     int
+	alpha float64
+	cdf   []float64 // cdf[i] = P(rank <= i+1); cdf[n-1] == 1
+}
+
+// NewZipf builds the distribution over ranks 1..n with skew alpha.
+func NewZipf(n int, alpha float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: zipf n=%d, want > 0", ErrBadParam, n)
+	}
+	if alpha < 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return nil, fmt.Errorf("%w: zipf alpha=%v, want finite >= 0", ErrBadParam, alpha)
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for r := 1; r <= n; r++ {
+		sum += math.Pow(float64(r), -alpha)
+		cdf[r-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding leaving it at 1-eps
+	return &Zipf{n: n, alpha: alpha, cdf: cdf}, nil
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return z.n }
+
+// Alpha returns the skew parameter.
+func (z *Zipf) Alpha() float64 { return z.alpha }
+
+// P returns the probability of rank r (0 outside 1..N).
+func (z *Zipf) P(r int) float64 {
+	if r < 1 || r > z.n {
+		return 0
+	}
+	if r == 1 {
+		return z.cdf[0]
+	}
+	return z.cdf[r-1] - z.cdf[r-2]
+}
+
+// Sample draws one rank in 1..N by inverse-transform over the
+// precomputed CDF (O(log N)).
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u) + 1
+}
+
+// PoissonProcess generates the arrival times of a homogeneous Poisson
+// process: successive Next calls return strictly increasing timestamps
+// whose inter-arrival gaps are Exp(rate). The zero time origin is 0.
+type PoissonProcess struct {
+	rate float64
+	now  float64
+}
+
+// NewPoissonProcess builds a process with the given arrival rate
+// (events per second).
+func NewPoissonProcess(rate float64) (*PoissonProcess, error) {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return nil, fmt.Errorf("%w: poisson rate=%v, want finite > 0", ErrBadParam, rate)
+	}
+	return &PoissonProcess{rate: rate}, nil
+}
+
+// Rate returns the arrival rate.
+func (p *PoissonProcess) Rate() float64 { return p.rate }
+
+// Next advances the process by one exponential inter-arrival gap and
+// returns the new absolute arrival time.
+func (p *PoissonProcess) Next(rng *rand.Rand) float64 {
+	p.now += rng.ExpFloat64() / p.rate
+	return p.now
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"streamcache/internal/par"
+	"streamcache/internal/sim"
+)
+
+// The sweep engine: every figure that is a grid of independent
+// simulations (cache fraction x policy x scenario axis) is expressed as
+// a slice of rowTasks, one per sweep point, fanned out over a bounded
+// worker pool. Tasks are self-contained (each sim.Run derives all of
+// its randomness from the config seed via sim.SplitSeed) and their rows
+// are collected in task order, so a regenerated table is identical for
+// every Parallelism value and any goroutine schedule.
+
+// rowTask computes one row of a table.
+type rowTask func() ([]string, error)
+
+// parallelism resolves the effective worker bound of the scale.
+// Negative values are rejected by Scale.validate before sweeps run.
+func (s Scale) parallelism() int {
+	if s.Parallelism > 0 {
+		return s.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// simRow builds the common sweep-point task: run one simulation,
+// render its metrics as a row. The inner run-level Parallelism is
+// pinned to 1 because the sweep pool already saturates the cores (and
+// Metrics are identical for any value, so this is purely a scheduling
+// choice).
+func simRow(cfg sim.Config, render func(sim.Metrics) []string) rowTask {
+	return func() ([]string, error) {
+		cfg.Parallelism = 1
+		m, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return render(m), nil
+	}
+}
+
+// runTasks executes tasks over a worker pool bounded by parallelism and
+// returns their rows in task order. The first failure (in task order)
+// aborts the result, and tasks not yet started when any failure lands
+// are skipped, preserving the fail-fast behavior of the old sequential
+// sweeps.
+func runTasks(parallelism int, tasks []rowTask) ([][]string, error) {
+	rows := make([][]string, len(tasks))
+	errs := make([]error, len(tasks))
+	var failed atomic.Bool
+	par.For(parallelism, len(tasks), func(i int) {
+		if failed.Load() {
+			return
+		}
+		rows[i], errs[i] = tasks[i]()
+		if errs[i] != nil {
+			failed.Store(true)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}

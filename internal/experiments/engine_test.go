@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+)
+
+// tableEqual reports whether two tables have identical rows.
+func tableEqual(a, b *Table) bool {
+	if len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Rows {
+		if len(a.Rows[i]) != len(b.Rows[i]) {
+			return false
+		}
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestTablesIdenticalAcrossParallelism is the tentpole determinism
+// contract at the experiment level: the same scale regenerates
+// bit-identical tables whether the sweep runs on 1, 2 or 8 workers.
+func TestTablesIdenticalAcrossParallelism(t *testing.T) {
+	builders := map[string]func(Scale) (*Table, error){
+		"Figure5":        Figure5,
+		"Figure6":        Figure6,
+		"Figure9":        Figure9,
+		"Baselines":      ExtensionBaselines,
+		"ScenarioMatrix": ScenarioMatrix,
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			var ref *Table
+			for _, par := range []int{1, 2, 8} {
+				s := tinyScale()
+				s.Parallelism = par
+				tbl, err := build(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref == nil {
+					ref = tbl
+					continue
+				}
+				if !tableEqual(ref, tbl) {
+					t.Fatalf("parallelism %d produced a different table than parallelism 1", par)
+				}
+			}
+		})
+	}
+}
+
+func TestRunTasksOrderAndErrors(t *testing.T) {
+	// Rows come back in task order however many workers run them.
+	n := 100
+	tasks := make([]rowTask, n)
+	for i := range tasks {
+		tasks[i] = func() ([]string, error) {
+			return []string{strconv.Itoa(i)}, nil
+		}
+	}
+	rows, err := runTasks(8, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != n {
+		t.Fatalf("rows = %d, want %d", len(rows), n)
+	}
+	for i, row := range rows {
+		if row[0] != strconv.Itoa(i) {
+			t.Fatalf("row %d = %q, want %q", i, row[0], strconv.Itoa(i))
+		}
+	}
+
+	// The first failing task (in task order) surfaces as the error.
+	boom := errors.New("boom")
+	tasks[37] = func() ([]string, error) { return nil, boom }
+	if _, err := runTasks(4, tasks); !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want boom", err)
+	}
+
+	// Degenerate pools still work.
+	if rows, err := runTasks(0, nil); err != nil || len(rows) != 0 {
+		t.Fatalf("empty task list: rows=%v err=%v", rows, err)
+	}
+}
+
+func TestScenarioMatrixShape(t *testing.T) {
+	s := tinyScale()
+	s.SigmaSweep = []float64{0, 0.55}
+	tbl, err := ScenarioMatrix(s)
+	checkTable(t, tbl, err)
+	// 2 sigmas x 4 estimators x 3 policies.
+	if len(tbl.Rows) != 24 {
+		t.Fatalf("rows = %d, want 24", len(tbl.Rows))
+	}
+	// Every metric cell parses and sits in a sane range.
+	for _, row := range tbl.Rows {
+		tr, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr < 0 || tr > 1 {
+			t.Errorf("traffic reduction %v outside [0,1] in row %v", tr, row)
+		}
+	}
+}
+
+func TestScenarioMatrixDefaultsSigmaSweep(t *testing.T) {
+	s := tinyScale() // tinyScale sets no SigmaSweep
+	tbl, err := ScenarioMatrix(s)
+	checkTable(t, tbl, err)
+	// 3 default sigmas x 4 estimators x 3 policies.
+	if len(tbl.Rows) != 36 {
+		t.Fatalf("rows = %d, want 36", len(tbl.Rows))
+	}
+}

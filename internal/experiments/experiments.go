@@ -44,8 +44,12 @@ type Scale struct {
 	CacheFractions []float64 // of total unique object bytes
 	AlphaSweep     []float64 // Figure 6
 	ESweep         []float64 // Figures 9 and 12
+	SigmaSweep     []float64 // scenario matrix variability levels
 	TraceEntries   int       // Figures 2-3 synthetic log size
 	TraceServers   int
+	// Parallelism bounds the concurrent sweep-point simulations (default
+	// runtime.GOMAXPROCS(0)). Tables are bit-identical for every value.
+	Parallelism int
 }
 
 // SmallScale returns the fast configuration (~1/10 of the paper).
@@ -58,6 +62,7 @@ func SmallScale() Scale {
 		CacheFractions: []float64{0.005, 0.02, 0.05, 0.1, 0.169},
 		AlphaSweep:     []float64{0.5, 0.73, 1.0, 1.2},
 		ESweep:         []float64{0, 0.2, 0.4, 0.6, 0.8, 1},
+		SigmaSweep:     []float64{0, 0.25, 0.55},
 		TraceEntries:   20000,
 		TraceServers:   200,
 	}
@@ -73,6 +78,7 @@ func PaperScale() Scale {
 		CacheFractions: []float64{0.005, 0.02, 0.05, 0.1, 0.169},
 		AlphaSweep:     []float64{0.5, 0.6, 0.73, 0.8, 0.9, 1.0, 1.1, 1.2},
 		ESweep:         []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1},
+		SigmaSweep:     []float64{0, 0.15, 0.25, 0.4, 0.55},
 		TraceEntries:   100000,
 		TraceServers:   1000,
 	}
@@ -86,6 +92,9 @@ func (s Scale) validate() error {
 	if len(s.CacheFractions) == 0 {
 		return fmt.Errorf("%w: no cache fractions", ErrBadScale)
 	}
+	if s.Parallelism < 0 {
+		return fmt.Errorf("%w: Parallelism=%d", ErrBadScale, s.Parallelism)
+	}
 	return nil
 }
 
@@ -93,12 +102,15 @@ func (s Scale) workload() workload.Config {
 	return workload.Config{NumObjects: s.Objects, NumRequests: s.Requests}
 }
 
-// totalBytes estimates the unique-object volume for cache sizing.
+// totalBytes estimates the unique-object volume for cache sizing. The
+// sizing workload uses the seed of run 0 (sim.SplitSeed, matching what
+// sim.Run derives internally) so the cache_pct axis is a fraction of an
+// object population the simulations actually realize.
 func (s Scale) totalBytes() (int64, error) {
 	w, err := workload.Generate(workload.Config{
 		NumObjects:  s.Objects,
 		NumRequests: 1,
-		Seed:        s.Seed,
+		Seed:        sim.SplitSeed(s.Seed, 0),
 	})
 	if err != nil {
 		return 0, err
@@ -109,8 +121,8 @@ func (s Scale) totalBytes() (int64, error) {
 func f3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
 func f1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
 
-// runPolicies runs one simulation per (cache fraction, policy) and
-// appends a row per combination.
+// runPolicies runs one simulation per (cache fraction, policy) in
+// parallel and appends a row per combination.
 func runPolicies(s Scale, policies []core.Policy, variation bandwidth.Variability) (*Table, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
@@ -122,26 +134,30 @@ func runPolicies(s Scale, policies []core.Policy, variation bandwidth.Variabilit
 	t := &Table{
 		Header: []string{"cache_pct", "policy", "traffic_reduction", "avg_delay_s", "avg_quality", "total_value", "hit_ratio"},
 	}
+	var tasks []rowTask
 	for _, frac := range s.CacheFractions {
 		for _, p := range policies {
-			m, err := sim.Run(sim.Config{
+			tasks = append(tasks, simRow(sim.Config{
 				Workload:   s.workload(),
 				CacheBytes: int64(frac * float64(total)),
 				Policy:     p,
 				Variation:  variation,
 				Runs:       s.Runs,
 				Seed:       s.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				f3(frac * 100), p.Name(),
-				f3(m.TrafficReductionRatio), f1(m.AvgServiceDelay),
-				f3(m.AvgStreamQuality), f1(m.TotalAddedValue), f3(m.HitRatio),
-			})
+			}, func(m sim.Metrics) []string {
+				return []string{
+					f3(frac * 100), p.Name(),
+					f3(m.TrafficReductionRatio), f1(m.AvgServiceDelay),
+					f3(m.AvgStreamQuality), f1(m.TotalAddedValue), f3(m.HitRatio),
+				}
+			}))
 		}
 	}
+	rows, err := runTasks(s.parallelism(), tasks)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -319,10 +335,11 @@ func Figure6(s Scale) (*Table, error) {
 		Note:   "expect: all metrics improve with alpha; orderings preserved",
 		Header: []string{"alpha", "cache_pct", "policy", "traffic_reduction", "avg_delay_s", "avg_quality"},
 	}
+	var tasks []rowTask
 	for _, alpha := range s.AlphaSweep {
 		for _, frac := range s.CacheFractions {
 			for _, p := range []core.Policy{core.NewIB(), core.NewPB()} {
-				m, err := sim.Run(sim.Config{
+				tasks = append(tasks, simRow(sim.Config{
 					Workload: workload.Config{
 						NumObjects:  s.Objects,
 						NumRequests: s.Requests,
@@ -332,17 +349,20 @@ func Figure6(s Scale) (*Table, error) {
 					Policy:     p,
 					Runs:       s.Runs,
 					Seed:       s.Seed,
-				})
-				if err != nil {
-					return nil, err
-				}
-				t.Rows = append(t.Rows, []string{
-					f3(alpha), f3(frac * 100), p.Name(),
-					f3(m.TrafficReductionRatio), f1(m.AvgServiceDelay), f3(m.AvgStreamQuality),
-				})
+				}, func(m sim.Metrics) []string {
+					return []string{
+						f3(alpha), f3(frac * 100), p.Name(),
+						f3(m.TrafficReductionRatio), f1(m.AvgServiceDelay), f3(m.AvgStreamQuality),
+					}
+				}))
 			}
 		}
 	}
+	rows, err := runTasks(s.parallelism(), tasks)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -383,29 +403,33 @@ func Figure9(s Scale) (*Table, error) {
 		Note:   "expect: traffic reduction decreases in e; delay minimized at moderate e",
 		Header: []string{"e", "cache_pct", "traffic_reduction", "avg_delay_s", "avg_quality"},
 	}
+	var tasks []rowTask
 	for _, e := range s.ESweep {
 		p, err := core.NewHybrid(e)
 		if err != nil {
 			return nil, err
 		}
 		for _, frac := range s.CacheFractions {
-			m, err := sim.Run(sim.Config{
+			tasks = append(tasks, simRow(sim.Config{
 				Workload:   s.workload(),
 				CacheBytes: int64(frac * float64(total)),
 				Policy:     p,
 				Variation:  bandwidth.NLANRVariability(),
 				Runs:       s.Runs,
 				Seed:       s.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				f3(e), f3(frac * 100),
-				f3(m.TrafficReductionRatio), f1(m.AvgServiceDelay), f3(m.AvgStreamQuality),
-			})
+			}, func(m sim.Metrics) []string {
+				return []string{
+					f3(e), f3(frac * 100),
+					f3(m.TrafficReductionRatio), f1(m.AvgServiceDelay), f3(m.AvgStreamQuality),
+				}
+			}))
 		}
 	}
+	rows, err := runTasks(s.parallelism(), tasks)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -447,28 +471,32 @@ func Figure12(s Scale) (*Table, error) {
 		Note:   "expect: total value maximized at a moderate e",
 		Header: []string{"e", "cache_pct", "traffic_reduction", "total_value"},
 	}
+	var tasks []rowTask
 	for _, e := range s.ESweep {
 		p, err := core.NewHybridV(e)
 		if err != nil {
 			return nil, err
 		}
 		for _, frac := range s.CacheFractions {
-			m, err := sim.Run(sim.Config{
+			tasks = append(tasks, simRow(sim.Config{
 				Workload:   s.workload(),
 				CacheBytes: int64(frac * float64(total)),
 				Policy:     p,
 				Variation:  bandwidth.NLANRVariability(),
 				Runs:       s.Runs,
 				Seed:       s.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				f3(e), f3(frac * 100), f3(m.TrafficReductionRatio), f1(m.TotalAddedValue),
-			})
+			}, func(m sim.Metrics) []string {
+				return []string{
+					f3(e), f3(frac * 100), f3(m.TrafficReductionRatio), f1(m.TotalAddedValue),
+				}
+			}))
 		}
 	}
+	rows, err := runTasks(s.parallelism(), tasks)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -487,28 +515,32 @@ func AblationEvictionGranularity(s Scale) (*Table, error) {
 		Name:   "Ablation: byte-granular vs whole-object eviction (PB policy, constant bandwidth)",
 		Header: []string{"cache_pct", "eviction", "traffic_reduction", "avg_delay_s", "avg_quality"},
 	}
+	var tasks []rowTask
 	for _, frac := range s.CacheFractions {
 		for _, mode := range []struct {
 			label string
 			whole bool
 		}{{"partial", false}, {"whole", true}} {
-			m, err := sim.Run(sim.Config{
+			tasks = append(tasks, simRow(sim.Config{
 				Workload:     s.workload(),
 				CacheBytes:   int64(frac * float64(total)),
 				Policy:       core.NewPB(),
 				CacheOptions: []core.Option{core.WithWholeObjectEviction(mode.whole)},
 				Runs:         s.Runs,
 				Seed:         s.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				f3(frac * 100), mode.label,
-				f3(m.TrafficReductionRatio), f1(m.AvgServiceDelay), f3(m.AvgStreamQuality),
-			})
+			}, func(m sim.Metrics) []string {
+				return []string{
+					f3(frac * 100), mode.label,
+					f3(m.TrafficReductionRatio), f1(m.AvgServiceDelay), f3(m.AvgStreamQuality),
+				}
+			}))
 		}
 	}
+	rows, err := runTasks(s.parallelism(), tasks)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -534,9 +566,10 @@ func AblationEstimators(s Scale) (*Table, error) {
 		{"ewma_0.3", sim.EWMAEstimator(0.3)},
 		{"underestimate_0.5", sim.UnderestimatingOracle(0.5)},
 	}
+	var tasks []rowTask
 	for _, frac := range s.CacheFractions {
 		for _, est := range estimators {
-			m, err := sim.Run(sim.Config{
+			tasks = append(tasks, simRow(sim.Config{
 				Workload:   s.workload(),
 				CacheBytes: int64(frac * float64(total)),
 				Policy:     core.NewPB(),
@@ -544,16 +577,19 @@ func AblationEstimators(s Scale) (*Table, error) {
 				Estimators: est.factory,
 				Runs:       s.Runs,
 				Seed:       s.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				f3(frac * 100), est.label,
-				f3(m.TrafficReductionRatio), f1(m.AvgServiceDelay), f3(m.AvgStreamQuality),
-			})
+			}, func(m sim.Metrics) []string {
+				return []string{
+					f3(frac * 100), est.label,
+					f3(m.TrafficReductionRatio), f1(m.AvgServiceDelay), f3(m.AvgStreamQuality),
+				}
+			}))
 		}
 	}
+	rows, err := runTasks(s.parallelism(), tasks)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -565,7 +601,7 @@ func All(s Scale) ([]*Table, error) {
 		Figure7, Figure8, Figure9, Figure10, Figure11, Figure12,
 		AblationEvictionGranularity, AblationEstimators,
 		ExtensionStreamMerging, ExtensionPartialViewing, ExtensionActiveProbing,
-		ExtensionBaselines,
+		ExtensionBaselines, ScenarioMatrix,
 	}
 	out := make([]*Table, 0, len(builders))
 	for _, build := range builders {

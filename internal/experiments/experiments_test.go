@@ -178,8 +178,8 @@ func TestAllProducesEveryTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 18 {
-		t.Fatalf("All produced %d tables, want 18", len(tables))
+	if len(tables) != 19 {
+		t.Fatalf("All produced %d tables, want 19", len(tables))
 	}
 	seen := map[string]bool{}
 	for _, tbl := range tables {

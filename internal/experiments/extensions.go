@@ -140,9 +140,10 @@ func ExtensionPartialViewing(s Scale) (*Table, error) {
 		Note:   "prefix caching gains relative effectiveness when sessions only watch the head of the stream",
 		Header: []string{"partial_view_prob", "policy", "traffic_reduction", "avg_delay_s", "hit_ratio"},
 	}
+	var tasks []rowTask
 	for _, prob := range []float64{0, 0.3, 0.7} {
 		for _, p := range []core.Policy{core.NewIF(), core.NewPB()} {
-			m, err := sim.Run(sim.Config{
+			tasks = append(tasks, simRow(sim.Config{
 				Workload: workload.Config{
 					NumObjects:      s.Objects,
 					NumRequests:     s.Requests,
@@ -152,16 +153,19 @@ func ExtensionPartialViewing(s Scale) (*Table, error) {
 				Policy:     p,
 				Runs:       s.Runs,
 				Seed:       s.Seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				f3(prob), p.Name(),
-				f3(m.TrafficReductionRatio), f1(m.AvgServiceDelay), f3(m.HitRatio),
-			})
+			}, func(m sim.Metrics) []string {
+				return []string{
+					f3(prob), p.Name(),
+					f3(m.TrafficReductionRatio), f1(m.AvgServiceDelay), f3(m.HitRatio),
+				}
+			}))
 		}
 	}
+	rows, err := runTasks(s.parallelism(), tasks)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -194,23 +198,27 @@ func ExtensionBaselines(s Scale) (*Table, error) {
 		{"IB", core.NewIB},
 		{"PB", core.NewPB},
 	}
+	var tasks []rowTask
 	for _, f := range factories {
-		m, err := sim.Run(sim.Config{
+		tasks = append(tasks, simRow(sim.Config{
 			Workload:      s.workload(),
 			CacheBytes:    int64(0.05 * float64(total)),
 			PolicyFactory: f.make,
 			Variation:     bandwidth.MeasuredVariability(),
 			Runs:          s.Runs,
 			Seed:          s.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{
-			f.label, f3(m.TrafficReductionRatio), f1(m.AvgServiceDelay),
-			f3(m.AvgStreamQuality), f3(m.HitRatio),
-		})
+		}, func(m sim.Metrics) []string {
+			return []string{
+				f.label, f3(m.TrafficReductionRatio), f1(m.AvgServiceDelay),
+				f3(m.AvgStreamQuality), f3(m.HitRatio),
+			}
+		}))
 	}
+	rows, err := runTasks(s.parallelism(), tasks)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -239,8 +247,9 @@ func ExtensionActiveProbing(s Scale) (*Table, error) {
 		{"active_probe_jitter_0.20", sim.ActiveProbeEstimator(0.20)},
 		{"active_probe_jitter_0.40", sim.ActiveProbeEstimator(0.40)},
 	}
+	var tasks []rowTask
 	for _, est := range estimators {
-		m, err := sim.Run(sim.Config{
+		tasks = append(tasks, simRow(sim.Config{
 			Workload:   s.workload(),
 			CacheBytes: int64(0.05 * float64(total)),
 			Policy:     core.NewPB(),
@@ -248,13 +257,16 @@ func ExtensionActiveProbing(s Scale) (*Table, error) {
 			Estimators: est.factory,
 			Runs:       s.Runs,
 			Seed:       s.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{
-			est.label, f3(m.TrafficReductionRatio), f1(m.AvgServiceDelay), f3(m.AvgStreamQuality),
-		})
+		}, func(m sim.Metrics) []string {
+			return []string{
+				est.label, f3(m.TrafficReductionRatio), f1(m.AvgServiceDelay), f3(m.AvgStreamQuality),
+			}
+		}))
 	}
+	rows, err := runTasks(s.parallelism(), tasks)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }

@@ -3,6 +3,16 @@
 // histograms, empirical CDFs, and quantiles. These back the bandwidth
 // characterization experiments (paper Figures 2-4) and the per-run summary
 // statistics of every simulation.
+//
+// The mutable collectors (Welford, Histogram) are safe for concurrent
+// use, so callers may share one collector across goroutines without
+// extra locking. Integer aggregates (counts, bins, extrema) are exact
+// under any interleaving; float accumulators (mean/variance/sum) are
+// order-insensitive only up to rounding, which is why the deterministic
+// experiment pipelines fill each collector from a single goroutine and
+// parallelize across collectors instead. ECDF is immutable after
+// construction and Quantile is a pure function, so both are trivially
+// safe.
 package metrics
 
 import (
@@ -10,14 +20,19 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // ErrBadParam reports an invalid argument.
 var ErrBadParam = errors.New("metrics: invalid parameter")
 
 // Welford accumulates mean and variance in a single streaming pass.
-// The zero value is ready to use.
+// The zero value is ready to use. All methods are safe for concurrent
+// use; note that Welford's update is order-insensitive only up to
+// floating-point rounding, so deterministic pipelines add from a single
+// goroutine while concurrent stress paths accept the rounding noise.
 type Welford struct {
+	mu   sync.Mutex
 	n    int64
 	mean float64
 	m2   float64
@@ -27,6 +42,8 @@ type Welford struct {
 
 // Add incorporates one observation.
 func (w *Welford) Add(x float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	w.n++
 	if w.n == 1 {
 		w.min, w.max = x, x
@@ -44,32 +61,54 @@ func (w *Welford) Add(x float64) {
 }
 
 // N returns the number of observations.
-func (w *Welford) N() int64 { return w.n }
+func (w *Welford) N() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
 
 // Mean returns the sample mean (0 when empty).
-func (w *Welford) Mean() float64 { return w.mean }
+func (w *Welford) Mean() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.mean
+}
 
-// Var returns the unbiased sample variance (0 with fewer than 2 points).
-func (w *Welford) Var() float64 {
+func (w *Welford) varLocked() float64 {
 	if w.n < 2 {
 		return 0
 	}
 	return w.m2 / float64(w.n-1)
 }
 
+// Var returns the unbiased sample variance (0 with fewer than 2 points).
+func (w *Welford) Var() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.varLocked()
+}
+
 // Std returns the sample standard deviation.
-func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+func (w *Welford) Std() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return math.Sqrt(w.varLocked())
+}
 
 // CoV returns the coefficient of variation Std/Mean (0 when Mean is 0).
 func (w *Welford) CoV() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.mean == 0 {
 		return 0
 	}
-	return w.Std() / w.mean
+	return math.Sqrt(w.varLocked()) / w.mean
 }
 
 // Min returns the smallest observation (0 when empty).
 func (w *Welford) Min() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.n == 0 {
 		return 0
 	}
@@ -78,6 +117,8 @@ func (w *Welford) Min() float64 {
 
 // Max returns the largest observation (0 when empty).
 func (w *Welford) Max() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.n == 0 {
 		return 0
 	}
@@ -88,7 +129,13 @@ func (w *Welford) Max() float64 {
 // Samples outside the range are clamped into the first/last bin so that
 // Count always equals the number of Add calls, mirroring how the paper's
 // histograms bucket the NLANR bandwidth samples (4 KB/s slots, Figure 2).
+// All methods are safe for concurrent use. Bin counts and Count are
+// exact integer aggregates, so the bins of a histogram filled from many
+// goroutines are identical to a sequential fill; the running sum behind
+// Mean is a float64 and can differ in its last bits across schedules
+// when sample magnitudes vary widely.
 type Histogram struct {
+	mu     sync.Mutex
 	origin float64
 	width  float64
 	bins   []int64
@@ -117,16 +164,24 @@ func (h *Histogram) Add(x float64) {
 	if i >= len(h.bins) {
 		i = len(h.bins) - 1
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	h.bins[i]++
 	h.count++
 	h.sum += x
 }
 
 // Count returns the total number of samples.
-func (h *Histogram) Count() int64 { return h.count }
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
 
 // Mean returns the mean of the raw samples (not bin midpoints).
 func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0
 	}
@@ -137,7 +192,11 @@ func (h *Histogram) Mean() float64 {
 func (h *Histogram) NumBins() int { return len(h.bins) }
 
 // Bin returns the count in bin i.
-func (h *Histogram) Bin(i int) int64 { return h.bins[i] }
+func (h *Histogram) Bin(i int) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.bins[i]
+}
 
 // BinStart returns the lower edge of bin i.
 func (h *Histogram) BinStart(i int) float64 { return h.origin + float64(i)*h.width }
@@ -145,6 +204,8 @@ func (h *Histogram) BinStart(i int) float64 { return h.origin + float64(i)*h.wid
 // CDF returns the empirical CDF evaluated at each bin upper edge. The last
 // value is always 1 for a non-empty histogram.
 func (h *Histogram) CDF() []float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	out := make([]float64, len(h.bins))
 	if h.count == 0 {
 		return out
@@ -160,6 +221,8 @@ func (h *Histogram) CDF() []float64 {
 // FractionBelow returns the fraction of samples strictly in bins whose
 // upper edge is <= x (bin-resolution approximation of P[X < x]).
 func (h *Histogram) FractionBelow(x float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0
 	}

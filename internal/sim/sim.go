@@ -17,11 +17,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
+	"runtime"
 	"time"
 
 	"streamcache/internal/bandwidth"
 	"streamcache/internal/core"
+	"streamcache/internal/par"
 	"streamcache/internal/workload"
 )
 
@@ -132,8 +133,13 @@ type Config struct {
 	WarmFraction float64
 	// Runs averages this many independently seeded runs (default 1).
 	Runs int
-	// Seed is the base seed; run r uses Seed + r.
+	// Seed is the base seed; run r uses SplitSeed(Seed, r).
 	Seed int64
+	// Parallelism bounds the worker goroutines executing runs (default
+	// runtime.GOMAXPROCS(0)). Because every run derives its own random
+	// streams from SplitSeed(Seed, run) and results aggregate in run
+	// order, Metrics are bit-identical for every Parallelism value.
+	Parallelism int
 }
 
 func (c Config) normalize() (Config, error) {
@@ -164,6 +170,12 @@ func (c Config) normalize() (Config, error) {
 	if c.Runs < 0 {
 		return c, fmt.Errorf("%w: Runs=%d", ErrBadConfig, c.Runs)
 	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.Parallelism < 0 {
+		return c, fmt.Errorf("%w: Parallelism=%d", ErrBadConfig, c.Parallelism)
+	}
 	return c, nil
 }
 
@@ -180,9 +192,11 @@ type Metrics struct {
 }
 
 // Run executes the experiment and returns metrics averaged over
-// cfg.Runs seeded runs. Runs are independent and execute in parallel;
-// results are aggregated in run order, so Run is deterministic for a
-// given configuration.
+// cfg.Runs seeded runs. Runs are independent and fan out over a worker
+// pool bounded by cfg.Parallelism; each run's random streams derive
+// from SplitSeed(cfg.Seed, run) and results are aggregated in run
+// order, so Run returns bit-identical Metrics for a given configuration
+// regardless of worker count or goroutine scheduling.
 func Run(cfg Config) (Metrics, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
@@ -190,15 +204,9 @@ func Run(cfg Config) (Metrics, error) {
 	}
 	results := make([]Metrics, cfg.Runs)
 	errs := make([]error, cfg.Runs)
-	var wg sync.WaitGroup
-	for r := 0; r < cfg.Runs; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			results[r], errs[r] = runOnce(cfg, cfg.Seed+int64(r))
-		}(r)
-	}
-	wg.Wait()
+	par.For(cfg.Parallelism, cfg.Runs, func(r int) {
+		results[r], errs[r] = runOnce(cfg, SplitSeed(cfg.Seed, int64(r)))
+	})
 	var agg Metrics
 	for r := 0; r < cfg.Runs; r++ {
 		if errs[r] != nil {

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseMalformed hammers the Squid log parser with a corpus of
+// malformed lines (bad field counts, negative and overflowing numbers,
+// huge fields) beyond the well-formed-leaning seeds of FuzzParse. The
+// contract: never panic, and anything that parses must reach a stable
+// Format/Parse fixed point after one canonicalizing pass.
+func FuzzParseMalformed(f *testing.F) {
+	f.Add("968251387.642   1432 10.0.3.44 TCP_MISS/200 524288 GET http://origin-7.example.com/media/obj-1 - DIRECT/origin-7.example.com video/mpeg")
+	f.Add("0.000 0 h TCP_HIT/000 0 GET u - D/ t")
+	f.Add("")
+	f.Add("   ")
+	f.Add("not a log line")
+	f.Add("968251387.642 1432 10.0.3.44 TCP_MISS 524288 GET u - DIRECT/o video/mpeg")    // missing /status
+	f.Add("-1 1432 10.0.3.44 TCP_MISS/200 524288 GET u - DIRECT/o video/mpeg")           // negative timestamp
+	f.Add("1 -5 10.0.3.44 TCP_MISS/200 524288 GET u - DIRECT/o video/mpeg")              // negative elapsed
+	f.Add("1 5 10.0.3.44 TCP_MISS/200 99999999999999999999 GET u - DIRECT/o video/mpeg") // overflowing bytes
+	f.Add("1 5 10.0.3.44 /200 1 GET u - DIRECT/o video/mpeg")                            // empty action
+	f.Add("NaN 5 10.0.3.44 TCP_MISS/200 1 GET u - DIRECT/o video/mpeg")                  // NaN timestamp
+	f.Add("1e308 5 10.0.3.44 TCP_MISS/200 1 GET u - DIRECT/o video/mpeg")                // huge timestamp
+	f.Add("1 5 10.0.3.44 TCP_MISS/200 1 GET " + strings.Repeat("x", 4096) + " - D/o t")  // huge URL field
+	f.Fuzz(func(t *testing.T, line string) {
+		e, err := Parse(line)
+		if err != nil {
+			return
+		}
+		// Accessors must be safe on anything that parsed.
+		_ = e.Server()
+		if bps := e.ThroughputBps(); bps < 0 {
+			t.Fatalf("negative throughput %v from %q", bps, line)
+		}
+		// One Format pass canonicalizes (timestamps quantize to
+		// milliseconds); after that the round trip must be exact.
+		canon, err := Parse(e.Format())
+		if err != nil {
+			t.Fatalf("formatted entry does not re-parse: %v\nentry: %+v\nformatted: %q", err, e, e.Format())
+		}
+		back, err := Parse(canon.Format())
+		if err != nil {
+			t.Fatalf("canonical entry does not re-parse: %v (entry %+v)", err, canon)
+		}
+		if back != canon {
+			t.Fatalf("canonical round trip changed the entry:\n got %+v\nwant %+v", back, canon)
+		}
+	})
+}
+
+// FuzzReadAll feeds arbitrary multi-line input (malformed lines, huge
+// fields, truncated/binary garbage) to the log reader; it must never
+// panic, and on success every entry must have come through Parse.
+func FuzzReadAll(f *testing.F) {
+	f.Add([]byte("968251387.642 1432 10.0.3.44 TCP_MISS/200 524288 GET u - DIRECT/o video/mpeg\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("garbage\nmore garbage"))
+	f.Add([]byte{0xff, 0xfe, 0x00, 0x01})
+	f.Add(bytes.Repeat([]byte("a"), 1<<16)) // one token larger than the scanner's initial buffer
+	f.Add([]byte("1 1 h TCP_MISS/200 1 GET u - D/o t\ntruncated lin"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, e := range entries {
+			if e.Timestamp < 0 || e.ElapsedMS < 0 || e.Bytes < 0 {
+				t.Fatalf("ReadAll accepted invalid entry %+v", e)
+			}
+		}
+	})
+}

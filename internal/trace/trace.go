@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -86,7 +87,7 @@ func Parse(line string) (Entry, error) {
 		return Entry{}, fmt.Errorf("%w: %d fields, want 10", ErrBadEntry, len(fields))
 	}
 	ts, err := strconv.ParseFloat(fields[0], 64)
-	if err != nil || ts < 0 {
+	if err != nil || ts < 0 || math.IsNaN(ts) || math.IsInf(ts, 0) {
 		return Entry{}, fmt.Errorf("%w: timestamp %q", ErrBadEntry, fields[0])
 	}
 	elapsed, err := strconv.ParseInt(fields[1], 10, 64)
