@@ -1,8 +1,12 @@
 // Command figures regenerates every table and figure of the paper's
-// evaluation as CSV files, one per experiment, plus an index.
+// evaluation as CSV files, one per experiment, plus an index. Rows are
+// streamed to disk as sweep points complete (flushed row by row, in
+// deterministic order), so long paper-scale sweeps can be tailed and
+// plotted while they run.
 //
 //	figures -out results/            # fast small-scale run
 //	figures -out results/ -scale paper -only figure5,figure9
+//	figures -out results/ -jsonl -refine 8
 package main
 
 import (
@@ -16,30 +20,31 @@ import (
 	"streamcache/internal/experiments"
 )
 
-var builders = []struct {
-	key   string
-	file  string
-	build func(experiments.Scale) (*experiments.Table, error)
-}{
-	{"table1", "table1_workload.csv", experiments.Table1},
-	{"figure2", "figure2_bandwidth_distribution.csv", experiments.Figure2},
-	{"figure3", "figure3_bandwidth_variability.csv", experiments.Figure3},
-	{"figure4", "figure4_path_time_series.csv", experiments.Figure4},
-	{"figure5", "figure5_constant_bandwidth.csv", experiments.Figure5},
-	{"figure6", "figure6_zipf_alpha.csv", experiments.Figure6},
-	{"figure7", "figure7_nlanr_variability.csv", experiments.Figure7},
-	{"figure8", "figure8_measured_variability.csv", experiments.Figure8},
-	{"figure9", "figure9_estimator_sweep.csv", experiments.Figure9},
-	{"figure10", "figure10_value_constant.csv", experiments.Figure10},
-	{"figure11", "figure11_value_variable.csv", experiments.Figure11},
-	{"figure12", "figure12_value_estimator_sweep.csv", experiments.Figure12},
-	{"ablation-eviction", "ablation_eviction_granularity.csv", experiments.AblationEvictionGranularity},
-	{"ablation-estimators", "ablation_estimators.csv", experiments.AblationEstimators},
-	{"ext-merging", "extension_stream_merging.csv", experiments.ExtensionStreamMerging},
-	{"ext-partial-viewing", "extension_partial_viewing.csv", experiments.ExtensionPartialViewing},
-	{"ext-active-probing", "extension_active_probing.csv", experiments.ExtensionActiveProbing},
-	{"ext-baselines", "extension_baselines.csv", experiments.ExtensionBaselines},
-	{"scenarios", "scenario_matrix.csv", experiments.ScenarioMatrix},
+// files maps experiment keys to their CSV file names; keys missing here
+// (future experiments) fall back to <key>.csv.
+var files = map[string]string{
+	"table1":              "table1_workload.csv",
+	"figure2":             "figure2_bandwidth_distribution.csv",
+	"figure3":             "figure3_bandwidth_variability.csv",
+	"figure4":             "figure4_path_time_series.csv",
+	"figure5":             "figure5_constant_bandwidth.csv",
+	"figure6":             "figure6_zipf_alpha.csv",
+	"figure7":             "figure7_nlanr_variability.csv",
+	"figure8":             "figure8_measured_variability.csv",
+	"figure9":             "figure9_estimator_sweep.csv",
+	"figure10":            "figure10_value_constant.csv",
+	"figure11":            "figure11_value_variable.csv",
+	"figure12":            "figure12_value_estimator_sweep.csv",
+	"ablation-eviction":   "ablation_eviction_granularity.csv",
+	"ablation-estimators": "ablation_estimators.csv",
+	"ext-merging":         "extension_stream_merging.csv",
+	"ext-partial-viewing": "extension_partial_viewing.csv",
+	"ext-active-probing":  "extension_active_probing.csv",
+	"ext-baselines":       "extension_baselines.csv",
+	"scenarios":           "scenario_matrix.csv",
+	"refined-e":           "refined_e_sweep.csv",
+	"refined-sigma":       "refined_sigma_sweep.csv",
+	"refined-cache":       "refined_cache_sweep.csv",
 }
 
 func main() {
@@ -56,6 +61,8 @@ func run() error {
 		only     = flag.String("only", "", "comma-separated experiment keys (default: all)")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		parallel = flag.Int("parallel", 0, "worker goroutines per sweep (0 = GOMAXPROCS); tables are identical for any value")
+		refine   = flag.Int("refine", -1, "extra adaptive points per refined sweep (-1 = scale default)")
+		jsonl    = flag.Bool("jsonl", false, "also stream each experiment as JSON Lines next to its CSV")
 	)
 	flag.Parse()
 
@@ -70,12 +77,16 @@ func run() error {
 	}
 	s.Seed = *seed
 	s.Parallelism = *parallel
+	if *refine >= 0 {
+		s.RefineBudget = *refine
+	}
 
+	exps := experiments.Experiments()
 	known := map[string]bool{}
-	keys := make([]string, 0, len(builders))
-	for _, b := range builders {
-		known[b.key] = true
-		keys = append(keys, b.key)
+	keys := make([]string, 0, len(exps))
+	for _, e := range exps {
+		known[e.Key] = true
+		keys = append(keys, e.Key)
 	}
 	selected := map[string]bool{}
 	if *only != "" {
@@ -96,38 +107,60 @@ func run() error {
 
 	var index strings.Builder
 	fmt.Fprintf(&index, "# Regenerated %s at scale=%s seed=%d\n", time.Now().Format(time.RFC3339), *scale, *seed)
-	for _, b := range builders {
-		if len(selected) > 0 && !selected[b.key] {
+	for _, e := range exps {
+		if len(selected) > 0 && !selected[e.Key] {
 			continue
 		}
+		file := files[e.Key]
+		if file == "" {
+			file = e.Key + ".csv"
+		}
 		start := time.Now()
-		table, err := b.build(s)
+		name, rows, err := streamExperiment(e, s, filepath.Join(*out, file), *jsonl)
 		if err != nil {
-			return fmt.Errorf("%s: %w", b.key, err)
+			return fmt.Errorf("%s: %w", e.Key, err)
 		}
-		path := filepath.Join(*out, b.file)
-		if err := writeCSV(path, table); err != nil {
-			return fmt.Errorf("%s: %w", b.key, err)
-		}
-		fmt.Printf("%-20s %-45s %5d rows  %v\n", b.key, b.file, len(table.Rows), time.Since(start).Round(time.Millisecond))
-		fmt.Fprintf(&index, "%s: %s (%d rows) - %s\n", b.key, b.file, len(table.Rows), table.Name)
+		fmt.Printf("%-20s %-45s %5d rows  %v\n", e.Key, file, rows, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(&index, "%s: %s (%d rows) - %s\n", e.Key, file, rows, name)
 	}
 	return os.WriteFile(filepath.Join(*out, "INDEX.txt"), []byte(index.String()), 0o644)
 }
 
-func writeCSV(path string, t *experiments.Table) error {
-	f, err := os.Create(path)
+// nameSink records the table name flowing past it, for the index file.
+type nameSink struct {
+	experiments.RowSink
+	name string
+}
+
+func (n *nameSink) Begin(meta experiments.TableMeta) error {
+	n.name = meta.Name
+	return n.RowSink.Begin(meta)
+}
+
+// streamExperiment streams one experiment to csvPath (plus an optional
+// sibling .jsonl), returning the table name and row count.
+func streamExperiment(e experiments.Experiment, s experiments.Scale, csvPath string, jsonl bool) (string, int, error) {
+	csvFile, err := os.Create(csvPath)
 	if err != nil {
-		return err
+		return "", 0, err
 	}
-	defer f.Close()
-	fmt.Fprintf(f, "# %s\n", t.Name)
-	if t.Note != "" {
-		fmt.Fprintf(f, "# %s\n", t.Note)
+	defer csvFile.Close()
+	csv := experiments.NewCSVSink(csvFile)
+	sink := experiments.MultiSink{csv}
+
+	if jsonl {
+		jsonlPath := strings.TrimSuffix(csvPath, ".csv") + ".jsonl"
+		jf, err := os.Create(jsonlPath)
+		if err != nil {
+			return "", 0, err
+		}
+		defer jf.Close()
+		sink = append(sink, experiments.NewJSONLSink(jf))
 	}
-	fmt.Fprintln(f, strings.Join(t.Header, ","))
-	for _, row := range t.Rows {
-		fmt.Fprintln(f, strings.Join(row, ","))
+
+	named := &nameSink{RowSink: sink}
+	if err := e.Stream(s, named); err != nil {
+		return "", 0, err
 	}
-	return f.Close()
+	return named.name, csv.Rows(), csvFile.Close()
 }

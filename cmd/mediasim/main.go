@@ -1,5 +1,6 @@
 // Command mediasim runs one partial-caching simulation experiment and
-// prints the Section 3.3 metrics.
+// prints the Section 3.3 metrics, or streams an adaptively refined
+// single-axis sweep.
 //
 // Example: reproduce one Figure 5 point at full paper scale:
 //
@@ -8,15 +9,24 @@
 // Or a Figure 9 point (estimator e = 0.5 under NLANR variability):
 //
 //	mediasim -policy HYBRID -e 0.5 -variability nlanr -cache-gb 40
+//
+// Sweep mode streams rows (CSV or JSONL) to -out as each point
+// completes, refining the axis where the metric gradient is steepest:
+//
+//	mediasim -sweep e -sweep-points 0,0.25,0.5,0.75,1 -refine 6 -format jsonl -out e.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"streamcache/internal/bandwidth"
 	"streamcache/internal/core"
+	"streamcache/internal/experiments"
 	"streamcache/internal/sim"
 	"streamcache/internal/units"
 	"streamcache/internal/workload"
@@ -43,9 +53,33 @@ func run() error {
 		runs        = flag.Int("runs", 3, "independently seeded runs to average")
 		seed        = flag.Int64("seed", 1, "base random seed")
 		wholeEvict  = flag.Bool("whole-eviction", false, "evict whole objects instead of prefix bytes")
-		parallel    = flag.Int("parallel", 0, "worker goroutines for runs (0 = GOMAXPROCS); metrics are identical for any value")
+		parallel    = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS); results are identical for any value")
+		sweepAxis   = flag.String("sweep", "", "stream an adaptive sweep over an axis: e, sigma, or cache")
+		sweepPoints = flag.String("sweep-points", "", "comma-separated coarse grid for -sweep (default: scale default)")
+		refine      = flag.Int("refine", -1, "extra adaptive sweep points (-1 = scale default)")
+		format      = flag.String("format", "csv", "sweep output format: csv or jsonl")
+		outPath     = flag.String("out", "", "sweep output file (default stdout)")
 	)
 	flag.Parse()
+
+	if *sweepAxis != "" {
+		// Refined sweeps fix the policy, network model and cache size per
+		// axis (see internal/experiments/refine.go); rejecting explicitly
+		// set single-simulation flags beats silently ignoring them.
+		var conflicting []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "policy", "e", "cache-gb", "alpha", "variability", "estimator", "ewma-alpha", "whole-eviction":
+				conflicting = append(conflicting, "-"+f.Name)
+			}
+		})
+		if len(conflicting) > 0 {
+			return fmt.Errorf("sweep mode fixes the policy/network/cache per axis; drop %s",
+				strings.Join(conflicting, ", "))
+		}
+		return runSweep(*sweepAxis, *sweepPoints, *objects, *requests, *runs, *refine,
+			*parallel, *seed, *format, *outPath)
+	}
 
 	policy, err := core.PolicyByName(*policyName, *e)
 	if err != nil {
@@ -91,6 +125,88 @@ func run() error {
 	fmt.Printf("hit_ratio               %8.4f\n", m.HitRatio)
 	fmt.Printf("measured_requests       %8d\n", m.Requests)
 	return nil
+}
+
+// runSweep streams one adaptively refined axis sweep to the chosen
+// output, row by row as points complete.
+func runSweep(axis, points string, objects, requests, runs, refine, parallel int,
+	seed int64, format, outPath string) error {
+
+	s := experiments.SmallScale()
+	s.Objects = objects
+	s.Requests = requests
+	s.Runs = runs
+	s.Seed = seed
+	s.Parallelism = parallel
+	if refine >= 0 {
+		s.RefineBudget = refine
+	}
+	if points != "" {
+		grid, err := parseGrid(points)
+		if err != nil {
+			return err
+		}
+		switch axis {
+		case "e":
+			s.ESweep = grid
+		case "sigma":
+			s.SigmaSweep = grid
+		case "cache":
+			s.CacheFractions = grid
+		}
+	}
+	key, ok := map[string]string{
+		"e":     "refined-e",
+		"sigma": "refined-sigma",
+		"cache": "refined-cache",
+	}[axis]
+	if !ok {
+		return fmt.Errorf("unknown sweep axis %q (want e, sigma, or cache)", axis)
+	}
+
+	var w io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	var sink experiments.RowSink
+	switch format {
+	case "csv":
+		sink = experiments.NewCSVSink(w)
+	case "jsonl":
+		sink = experiments.NewJSONLSink(w)
+	default:
+		return fmt.Errorf("unknown sweep format %q (want csv or jsonl)", format)
+	}
+	return experiments.Stream(key, s, sink)
+}
+
+// parseGrid parses a comma-separated, strictly increasing float list.
+func parseGrid(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	grid := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad sweep point %q: %w", p, err)
+		}
+		if len(grid) > 0 && v <= grid[len(grid)-1] {
+			return nil, fmt.Errorf("sweep points must be strictly increasing, got %q", s)
+		}
+		grid = append(grid, v)
+	}
+	if len(grid) < 2 {
+		return nil, fmt.Errorf("sweep needs at least 2 coarse points, got %q", s)
+	}
+	return grid, nil
 }
 
 func variabilityByName(name string) (bandwidth.Variability, error) {

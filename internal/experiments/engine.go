@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"sync/atomic"
 
@@ -10,14 +12,25 @@ import (
 
 // The sweep engine: every figure that is a grid of independent
 // simulations (cache fraction x policy x scenario axis) is expressed as
-// a slice of rowTasks, one per sweep point, fanned out over a bounded
-// worker pool. Tasks are self-contained (each sim.Run derives all of
-// its randomness from the config seed via sim.SplitSeed) and their rows
-// are collected in task order, so a regenerated table is identical for
-// every Parallelism value and any goroutine schedule.
+// a runner that streams its rows into a RowSink. Fixed grids become a
+// slice of rowTasks, one per sweep point, fanned out over a bounded
+// worker pool with a reorder buffer (par.ForOrdered) delivering rows in
+// task order however workers finish; adaptive sweeps (refine.go) layer
+// gradient-driven refinement on top of the same streamed rows. Tasks
+// are self-contained (each sim.Run derives all of its randomness from
+// the config seed via sim.SplitSeed), so a streamed table is
+// byte-identical for every Parallelism value and any goroutine
+// schedule.
 
 // rowTask computes one row of a table.
 type rowTask func() ([]string, error)
+
+// runner produces one experiment's rows, streaming them through emit in
+// deterministic order.
+type runner interface {
+	tableMeta() TableMeta
+	run(parallelism int, emit func(row []string) error) error
+}
 
 // parallelism resolves the effective worker bound of the scale.
 // Negative values are rejected by Scale.validate before sweeps run.
@@ -44,28 +57,200 @@ func simRow(cfg sim.Config, render func(sim.Metrics) []string) rowTask {
 	}
 }
 
-// runTasks executes tasks over a worker pool bounded by parallelism and
-// returns their rows in task order. The first failure (in task order)
-// aborts the result, and tasks not yet started when any failure lands
-// are skipped, preserving the fail-fast behavior of the old sequential
-// sweeps.
-func runTasks(parallelism int, tasks []rowTask) ([][]string, error) {
-	rows := make([][]string, len(tasks))
-	errs := make([]error, len(tasks))
-	var failed atomic.Bool
-	par.For(parallelism, len(tasks), func(i int) {
-		if failed.Load() {
-			return
-		}
-		rows[i], errs[i] = tasks[i]()
-		if errs[i] != nil {
-			failed.Store(true)
-		}
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+// taskSweep is a fixed grid of independent sweep points.
+type taskSweep struct {
+	meta  TableMeta
+	tasks []rowTask
+}
+
+func (t *taskSweep) tableMeta() TableMeta { return t.meta }
+
+func (t *taskSweep) run(parallelism int, emit func(row []string) error) error {
+	return streamTasks(parallelism, t.tasks, emit)
+}
+
+// staticTable is a runner whose rows were computed eagerly (the
+// workload- and trace-characterization tables); it streams them
+// unchanged.
+type staticTable struct {
+	meta TableMeta
+	rows [][]string
+}
+
+func (t *staticTable) tableMeta() TableMeta { return t.meta }
+
+func (t *staticTable) run(_ int, emit func(row []string) error) error {
+	for _, row := range t.rows {
+		if err := emit(row); err != nil {
+			return err
 		}
 	}
-	return rows, nil
+	return nil
+}
+
+// errSweepAborted marks tasks skipped because an earlier task failed.
+// It is internal flow control only: streamOrdered reports the first
+// real failure in task order, never the sentinel.
+var errSweepAborted = errors.New("experiments: sweep aborted")
+
+// streamOrdered runs eval(0..n-1) over a worker pool bounded by
+// parallelism and hands results to deliver in strict index order as
+// they become available. The first failure (in task order) aborts the
+// stream, and tasks not yet started when any failure lands are
+// skipped, preserving the fail-fast behavior of the old
+// collect-then-return sweeps. Results delivered before the first
+// failing index stay delivered: streaming consumers own partial
+// output (under a failure the delivered prefix may end before the
+// failing index, since a skipped task yields nothing to deliver).
+func streamOrdered[T any](parallelism, n int, eval func(i int) (T, error), deliver func(i int, v T) error) error {
+	type result struct {
+		v   T
+		err error
+	}
+	var failed atomic.Bool
+	var deliverErr error
+	// Real task errors land in index-addressed slots so the reported
+	// error is the first in task order — a skipped lower-index task
+	// (sentinel) must not mask the failure that caused the skip.
+	errs := make([]error, n)
+	par.ForOrdered(parallelism, n, func(i int) result {
+		if failed.Load() {
+			return result{err: errSweepAborted}
+		}
+		v, err := eval(i)
+		if err != nil {
+			errs[i] = err
+			failed.Store(true)
+		}
+		return result{v: v, err: err}
+	}, func(i int, r result) bool {
+		if r.err != nil {
+			return false
+		}
+		if err := deliver(i, r.v); err != nil {
+			failed.Store(true)
+			deliverErr = err
+			return false
+		}
+		return true
+	})
+	// A deliver failure is what actually cut the stream short; tasks
+	// can only have failed at higher indices (every task at or below
+	// the delivered prefix succeeded), so it takes precedence.
+	if deliverErr != nil {
+		return deliverErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// streamTasks executes tasks over the pool and emits their rows in
+// task order.
+func streamTasks(parallelism int, tasks []rowTask, emit func(row []string) error) error {
+	return streamOrdered(parallelism, len(tasks),
+		func(i int) ([]string, error) { return tasks[i]() },
+		func(_ int, row []string) error { return emit(row) })
+}
+
+// stream drives one runner into a sink: Begin, ordered rows, End.
+func stream(s Scale, r runner, sink RowSink) error {
+	if err := sink.Begin(r.tableMeta()); err != nil {
+		return err
+	}
+	if err := r.run(s.parallelism(), sink.Row); err != nil {
+		return err
+	}
+	return sink.End()
+}
+
+// tableOf materializes a runner builder into the in-memory Table of the
+// aggregate API.
+func tableOf(s Scale, build func(Scale) (runner, error)) (*Table, error) {
+	r, err := build(s)
+	if err != nil {
+		return nil, err
+	}
+	var ts TableSink
+	if err := stream(s, r, &ts); err != nil {
+		return nil, err
+	}
+	return ts.Table(), nil
+}
+
+// Experiment is one named, streamable table of the evaluation suite.
+type Experiment struct {
+	// Key is the stable short name used by cmd/figures -only and
+	// ExperimentByKey.
+	Key   string
+	build func(Scale) (runner, error)
+}
+
+// Table runs the experiment at the given scale and returns the
+// aggregated in-memory table.
+func (e Experiment) Table(s Scale) (*Table, error) {
+	return tableOf(s, e.build)
+}
+
+// Stream runs the experiment at the given scale, pushing rows into sink
+// incrementally in deterministic order. The streamed bytes of a
+// deterministic sink (CSV, JSONL) are identical for every Parallelism.
+func (e Experiment) Stream(s Scale, sink RowSink) error {
+	r, err := e.build(s)
+	if err != nil {
+		return err
+	}
+	return stream(s, r, sink)
+}
+
+// Experiments returns the full suite in paper order: Table 1 and
+// Figures 2-12, then the ablations, the Section 6 extensions, the
+// scenario matrix, and the adaptively refined axis sweeps.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", table1Runner},
+		{"figure2", figure2Runner},
+		{"figure3", figure3Runner},
+		{"figure4", figure4Runner},
+		{"figure5", figure5Runner},
+		{"figure6", figure6Runner},
+		{"figure7", figure7Runner},
+		{"figure8", figure8Runner},
+		{"figure9", figure9Runner},
+		{"figure10", figure10Runner},
+		{"figure11", figure11Runner},
+		{"figure12", figure12Runner},
+		{"ablation-eviction", ablationEvictionRunner},
+		{"ablation-estimators", ablationEstimatorsRunner},
+		{"ext-merging", extensionStreamMergingRunner},
+		{"ext-partial-viewing", extensionPartialViewingRunner},
+		{"ext-active-probing", extensionActiveProbingRunner},
+		{"ext-baselines", extensionBaselinesRunner},
+		{"scenarios", scenarioMatrixRunner},
+		{"refined-e", refinedESweepRunner},
+		{"refined-sigma", refinedSigmaSweepRunner},
+		{"refined-cache", refinedCacheSweepRunner},
+	}
+}
+
+// ExperimentByKey looks an experiment up by its stable key.
+func ExperimentByKey(key string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.Key == key {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Stream runs the experiment named by key at the given scale into sink.
+func Stream(key string, s Scale, sink RowSink) error {
+	e, ok := ExperimentByKey(key)
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q", key)
+	}
+	return e.Stream(s, sink)
 }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"bytes"
 	"errors"
 	"strconv"
 	"testing"
+	"time"
 )
 
 // tableEqual reports whether two tables have identical rows.
@@ -57,8 +59,103 @@ func TestTablesIdenticalAcrossParallelism(t *testing.T) {
 	}
 }
 
-func TestRunTasksOrderAndErrors(t *testing.T) {
-	// Rows come back in task order however many workers run them.
+// TestStreamedBytesIdenticalAcrossParallelism pins the streaming
+// determinism contract end to end: the exact CSV and JSONL byte
+// streams of a fixed sweep and an adaptively refined sweep are
+// identical at Parallelism 1, 2 and 8.
+func TestStreamedBytesIdenticalAcrossParallelism(t *testing.T) {
+	for _, key := range []string{"figure5", "scenarios", "refined-e", "refined-cache"} {
+		t.Run(key, func(t *testing.T) {
+			var refCSV, refJSONL []byte
+			for _, par := range []int{1, 2, 8} {
+				s := tinyScale()
+				s.Parallelism = par
+				s.RefineBudget = 3
+				var csv, jsonl bytes.Buffer
+				err := Stream(key, s, MultiSink{NewCSVSink(&csv), NewJSONLSink(&jsonl)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if refCSV == nil {
+					refCSV, refJSONL = csv.Bytes(), jsonl.Bytes()
+					continue
+				}
+				if !bytes.Equal(refCSV, csv.Bytes()) {
+					t.Errorf("parallelism %d streamed different CSV bytes than parallelism 1", par)
+				}
+				if !bytes.Equal(refJSONL, jsonl.Bytes()) {
+					t.Errorf("parallelism %d streamed different JSONL bytes than parallelism 1", par)
+				}
+			}
+		})
+	}
+}
+
+// recordingSink notes the arrival of every row and signals the first.
+type recordingSink struct {
+	meta     TableMeta
+	rows     [][]string
+	firstRow chan struct{}
+	ended    bool
+}
+
+func newRecordingSink() *recordingSink {
+	return &recordingSink{firstRow: make(chan struct{})}
+}
+
+func (r *recordingSink) Begin(meta TableMeta) error {
+	r.meta = meta
+	return nil
+}
+
+func (r *recordingSink) Row(row []string) error {
+	if len(r.rows) == 0 {
+		close(r.firstRow)
+	}
+	r.rows = append(r.rows, row)
+	return nil
+}
+
+func (r *recordingSink) End() error {
+	r.ended = true
+	return nil
+}
+
+// TestSinkReceivesRowsBeforeSweepCompletes proves the pipeline streams:
+// a later task blocks until the sink has observed the first row, which
+// is impossible under the old collect-then-return contract (rows only
+// reached consumers after every task finished).
+func TestSinkReceivesRowsBeforeSweepCompletes(t *testing.T) {
+	sink := newRecordingSink()
+	sw := &taskSweep{
+		meta: TableMeta{Name: "streaming probe", Header: []string{"i"}},
+		tasks: []rowTask{
+			func() ([]string, error) { return []string{"0"}, nil },
+			func() ([]string, error) {
+				select {
+				case <-sink.firstRow:
+					return []string{"1"}, nil
+				case <-time.After(10 * time.Second):
+					return nil, errors.New("sink never saw row 0 while the sweep was still running")
+				}
+			},
+		},
+	}
+	s := tinyScale()
+	s.Parallelism = 2
+	if err := stream(s, sw, sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.rows) != 2 || sink.rows[0][0] != "0" || sink.rows[1][0] != "1" {
+		t.Fatalf("rows = %v, want [[0] [1]]", sink.rows)
+	}
+	if !sink.ended {
+		t.Error("End never called")
+	}
+}
+
+func TestStreamTasksOrderAndErrors(t *testing.T) {
+	// Rows arrive in task order however many workers run them.
 	n := 100
 	tasks := make([]rowTask, n)
 	for i := range tasks {
@@ -66,8 +163,11 @@ func TestRunTasksOrderAndErrors(t *testing.T) {
 			return []string{strconv.Itoa(i)}, nil
 		}
 	}
-	rows, err := runTasks(8, tasks)
-	if err != nil {
+	var rows [][]string
+	if err := streamTasks(8, tasks, func(row []string) error {
+		rows = append(rows, row)
+		return nil
+	}); err != nil {
 		t.Fatal(err)
 	}
 	if len(rows) != n {
@@ -79,16 +179,35 @@ func TestRunTasksOrderAndErrors(t *testing.T) {
 		}
 	}
 
-	// The first failing task (in task order) surfaces as the error.
+	// The first failing task (in task order) surfaces as the error, and
+	// only rows before it were emitted.
 	boom := errors.New("boom")
 	tasks[37] = func() ([]string, error) { return nil, boom }
-	if _, err := runTasks(4, tasks); !errors.Is(err, boom) {
+	rows = nil
+	err := streamTasks(4, tasks, func(row []string) error {
+		rows = append(rows, row)
+		return nil
+	})
+	if !errors.Is(err, boom) {
 		t.Fatalf("error = %v, want boom", err)
+	}
+	if len(rows) != 37 {
+		t.Fatalf("emitted %d rows before the failure at 37, want 37", len(rows))
+	}
+
+	// A sink error aborts the sweep.
+	tasks[37] = func() ([]string, error) { return []string{"37"}, nil }
+	sinkErr := errors.New("disk full")
+	if err := streamTasks(4, tasks, func([]string) error { return sinkErr }); !errors.Is(err, sinkErr) {
+		t.Fatalf("error = %v, want sink error", err)
 	}
 
 	// Degenerate pools still work.
-	if rows, err := runTasks(0, nil); err != nil || len(rows) != 0 {
-		t.Fatalf("empty task list: rows=%v err=%v", rows, err)
+	if err := streamTasks(0, nil, func([]string) error {
+		t.Error("emit called with no tasks")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -120,5 +239,28 @@ func TestScenarioMatrixDefaultsSigmaSweep(t *testing.T) {
 	// 3 default sigmas x 4 estimators x 3 policies.
 	if len(tbl.Rows) != 36 {
 		t.Fatalf("rows = %d, want 36", len(tbl.Rows))
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.Key == "" {
+			t.Error("experiment with empty key")
+		}
+		if seen[e.Key] {
+			t.Errorf("duplicate experiment key %q", e.Key)
+		}
+		seen[e.Key] = true
+	}
+	if _, ok := ExperimentByKey("figure5"); !ok {
+		t.Error("figure5 missing from registry")
+	}
+	if _, ok := ExperimentByKey("nope"); ok {
+		t.Error("unknown key resolved")
+	}
+	if err := Stream("nope", tinyScale(), &TableSink{}); err == nil {
+		t.Error("Stream accepted an unknown key")
 	}
 }

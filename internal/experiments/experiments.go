@@ -1,8 +1,9 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (Table 1 and Figures 2-12). Each function returns a Table
-// whose rows mirror the series the paper plots; the cmd/figures binary
-// renders them as CSV and the root-level benchmarks print them during
-// bench runs. EXPERIMENTS.md records paper-vs-measured notes per figure.
+// evaluation (Table 1 and Figures 2-12). Each experiment streams its
+// rows through a RowSink (CSV, JSONL, or the in-memory Table) in
+// deterministic task order; the cmd/figures binary streams them to disk
+// and the root-level benchmarks print them during bench runs.
+// EXPERIMENTS.md records paper-vs-measured notes per figure.
 package experiments
 
 import (
@@ -50,6 +51,11 @@ type Scale struct {
 	// Parallelism bounds the concurrent sweep-point simulations (default
 	// runtime.GOMAXPROCS(0)). Tables are bit-identical for every value.
 	Parallelism int
+	// RefineBudget is the number of extra points the adaptive axis
+	// sweeps (refined-e, refined-sigma, refined-cache) may add beyond
+	// their coarse grid, bisecting the intervals with the steepest
+	// metric gradient. 0 disables refinement.
+	RefineBudget int
 }
 
 // SmallScale returns the fast configuration (~1/10 of the paper).
@@ -65,6 +71,7 @@ func SmallScale() Scale {
 		SigmaSweep:     []float64{0, 0.25, 0.55},
 		TraceEntries:   20000,
 		TraceServers:   200,
+		RefineBudget:   4,
 	}
 }
 
@@ -81,6 +88,7 @@ func PaperScale() Scale {
 		SigmaSweep:     []float64{0, 0.15, 0.25, 0.4, 0.55},
 		TraceEntries:   100000,
 		TraceServers:   1000,
+		RefineBudget:   8,
 	}
 }
 
@@ -94,6 +102,9 @@ func (s Scale) validate() error {
 	}
 	if s.Parallelism < 0 {
 		return fmt.Errorf("%w: Parallelism=%d", ErrBadScale, s.Parallelism)
+	}
+	if s.RefineBudget < 0 {
+		return fmt.Errorf("%w: RefineBudget=%d", ErrBadScale, s.RefineBudget)
 	}
 	return nil
 }
@@ -121,9 +132,9 @@ func (s Scale) totalBytes() (int64, error) {
 func f3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
 func f1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
 
-// runPolicies runs one simulation per (cache fraction, policy) in
-// parallel and appends a row per combination.
-func runPolicies(s Scale, policies []core.Policy, variation bandwidth.Variability) (*Table, error) {
+// policySweep builds the common grid: one simulation per (cache
+// fraction, policy), a row per combination.
+func policySweep(s Scale, meta TableMeta, policies []core.Policy, variation bandwidth.Variability) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
@@ -131,13 +142,11 @@ func runPolicies(s Scale, policies []core.Policy, variation bandwidth.Variabilit
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
-		Header: []string{"cache_pct", "policy", "traffic_reduction", "avg_delay_s", "avg_quality", "total_value", "hit_ratio"},
-	}
-	var tasks []rowTask
+	sw := &taskSweep{meta: meta}
+	sw.meta.Header = []string{"cache_pct", "policy", "traffic_reduction", "avg_delay_s", "avg_quality", "total_value", "hit_ratio"}
 	for _, frac := range s.CacheFractions {
 		for _, p := range policies {
-			tasks = append(tasks, simRow(sim.Config{
+			sw.tasks = append(sw.tasks, simRow(sim.Config{
 				Workload:   s.workload(),
 				CacheBytes: int64(frac * float64(total)),
 				Policy:     p,
@@ -153,17 +162,14 @@ func runPolicies(s Scale, policies []core.Policy, variation bandwidth.Variabilit
 			}))
 		}
 	}
-	rows, err := runTasks(s.parallelism(), tasks)
-	if err != nil {
-		return nil, err
-	}
-	t.Rows = rows
-	return t, nil
+	return sw, nil
 }
 
 // Table1 reports the generated workload's characteristics against the
 // paper's Table 1 targets.
-func Table1(s Scale) (*Table, error) {
+func Table1(s Scale) (*Table, error) { return tableOf(s, table1Runner) }
+
+func table1Runner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
@@ -181,11 +187,13 @@ func Table1(s Scale) (*Table, error) {
 		top10 += counts[i]
 	}
 	rate := w.Config.Rate()
-	return &Table{
-		Name:   "Table 1: Characteristics of the Synthetic Workload",
-		Note:   "paper targets: 5000 objects, 100000 requests, Zipf 0.73, ~55 min mean duration, 48 KB/s, ~790 GB total",
-		Header: []string{"characteristic", "value"},
-		Rows: [][]string{
+	return &staticTable{
+		meta: TableMeta{
+			Name:   "Table 1: Characteristics of the Synthetic Workload",
+			Note:   "paper targets: 5000 objects, 100000 requests, Zipf 0.73, ~55 min mean duration, 48 KB/s, ~790 GB total",
+			Header: []string{"characteristic", "value"},
+		},
+		rows: [][]string{
 			{"objects", strconv.Itoa(len(w.Objects))},
 			{"requests", strconv.Itoa(len(w.Requests))},
 			{"zipf_alpha", f3(w.Config.ZipfAlpha)},
@@ -202,7 +210,9 @@ func Table1(s Scale) (*Table, error) {
 // Squid log is produced from the reconstructed model, then analyzed
 // exactly as Section 3.1 describes (missed requests > 200 KB), yielding
 // the histogram (4 KB/s slots) and CDF of Figure 2.
-func Figure2(s Scale) (*Table, error) {
+func Figure2(s Scale) (*Table, error) { return tableOf(s, figure2Runner) }
+
+func figure2Runner(s Scale) (runner, error) {
 	analysis, err := analyzeSyntheticLog(s, bandwidth.NoVariation{})
 	if err != nil {
 		return nil, err
@@ -211,14 +221,16 @@ func Figure2(s Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
-		Name:   "Figure 2: Internet bandwidth distribution observed in (synthetic) NLANR cache logs",
-		Note:   "anchors: 37% of requests below 50 KB/s, 56% below 100 KB/s",
-		Header: []string{"bw_KBps", "samples", "cdf"},
+	t := &staticTable{
+		meta: TableMeta{
+			Name:   "Figure 2: Internet bandwidth distribution observed in (synthetic) NLANR cache logs",
+			Note:   "anchors: 37% of requests below 50 KB/s, 56% below 100 KB/s",
+			Header: []string{"bw_KBps", "samples", "cdf"},
+		},
 	}
 	cdf := hist.CDF()
 	for i := 0; i < hist.NumBins(); i++ {
-		t.Rows = append(t.Rows, []string{
+		t.rows = append(t.rows, []string{
 			f1(units.ToKBps(hist.BinStart(i))),
 			strconv.FormatInt(hist.Bin(i), 10),
 			f3(cdf[i]),
@@ -229,7 +241,9 @@ func Figure2(s Scale) (*Table, error) {
 
 // Figure3 regenerates the sample-to-mean bandwidth variability of the
 // NLANR logs: per-server means, then the ratio histogram and CDF.
-func Figure3(s Scale) (*Table, error) {
+func Figure3(s Scale) (*Table, error) { return tableOf(s, figure3Runner) }
+
+func figure3Runner(s Scale) (runner, error) {
 	analysis, err := analyzeSyntheticLog(s, bandwidth.NLANRVariability())
 	if err != nil {
 		return nil, err
@@ -242,14 +256,16 @@ func Figure3(s Scale) (*Table, error) {
 	for _, r := range ratios {
 		h.Add(r)
 	}
-	t := &Table{
-		Name:   "Figure 3: Variation of bandwidth observed in the (synthetic) NLANR cache logs",
-		Note:   "paper: ~70% of samples fall within 0.5-1.5x the path mean",
-		Header: []string{"ratio", "samples", "cdf"},
+	t := &staticTable{
+		meta: TableMeta{
+			Name:   "Figure 3: Variation of bandwidth observed in the (synthetic) NLANR cache logs",
+			Note:   "paper: ~70% of samples fall within 0.5-1.5x the path mean",
+			Header: []string{"ratio", "samples", "cdf"},
+		},
 	}
 	cdf := h.CDF()
 	for i := 0; i < h.NumBins(); i++ {
-		t.Rows = append(t.Rows, []string{
+		t.rows = append(t.rows, []string{
 			f3(h.BinStart(i)), strconv.FormatInt(h.Bin(i), 10), f3(cdf[i]),
 		})
 	}
@@ -278,14 +294,18 @@ func analyzeSyntheticLog(s Scale, v bandwidth.Variability) (*trace.Analysis, err
 // Figure4 regenerates the measured-path bandwidth time series: 4-minute
 // samples over 30-45 hours for the three modeled paths, plus each path's
 // sample-to-mean CoV (the paper's variability comparison).
-func Figure4(s Scale) (*Table, error) {
+func Figure4(s Scale) (*Table, error) { return tableOf(s, figure4Runner) }
+
+func figure4Runner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	t := &Table{
-		Name:   "Figure 4: Bandwidth variation of (modeled) real paths",
-		Note:   "INRIA has much lower variability than the Far-East paths; all are below the NLANR-log level",
-		Header: []string{"path", "t_hours", "bw_KBps"},
+	t := &staticTable{
+		meta: TableMeta{
+			Name:   "Figure 4: Bandwidth variation of (modeled) real paths",
+			Note:   "INRIA has much lower variability than the Far-East paths; all are below the NLANR-log level",
+			Header: []string{"path", "t_hours", "bw_KBps"},
+		},
 	}
 	rng := rand.New(rand.NewSource(s.Seed))
 	hours := []float64{45, 40, 30} // per Figure 4's spans
@@ -300,7 +320,7 @@ func Figure4(s Scale) (*Table, error) {
 			return nil, err
 		}
 		for _, sample := range series {
-			t.Rows = append(t.Rows, []string{
+			t.rows = append(t.rows, []string{
 				p.String(), f3(sample.T.Hours()), f1(units.ToKBps(sample.Rate)),
 			})
 		}
@@ -310,19 +330,20 @@ func Figure4(s Scale) (*Table, error) {
 
 // Figure5 compares IF, PB and IB under the constant-bandwidth
 // assumption across cache sizes.
-func Figure5(s Scale) (*Table, error) {
-	t, err := runPolicies(s, []core.Policy{core.NewIF(), core.NewPB(), core.NewIB()}, bandwidth.NoVariation{})
-	if err != nil {
-		return nil, err
-	}
-	t.Name = "Figure 5: IF vs PB vs IB under constant bandwidth"
-	t.Note = "expect: IF best traffic reduction, PB best delay/quality, IB between"
-	return t, nil
+func Figure5(s Scale) (*Table, error) { return tableOf(s, figure5Runner) }
+
+func figure5Runner(s Scale) (runner, error) {
+	return policySweep(s, TableMeta{
+		Name: "Figure 5: IF vs PB vs IB under constant bandwidth",
+		Note: "expect: IF best traffic reduction, PB best delay/quality, IB between",
+	}, []core.Policy{core.NewIF(), core.NewPB(), core.NewIB()}, bandwidth.NoVariation{})
 }
 
 // Figure6 sweeps the Zipf popularity skew for IB and PB under constant
 // bandwidth.
-func Figure6(s Scale) (*Table, error) {
+func Figure6(s Scale) (*Table, error) { return tableOf(s, figure6Runner) }
+
+func figure6Runner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
@@ -330,16 +351,15 @@ func Figure6(s Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
+	sw := &taskSweep{meta: TableMeta{
 		Name:   "Figure 6: Effect of Zipf parameter alpha (IB and PB, constant bandwidth)",
 		Note:   "expect: all metrics improve with alpha; orderings preserved",
 		Header: []string{"alpha", "cache_pct", "policy", "traffic_reduction", "avg_delay_s", "avg_quality"},
-	}
-	var tasks []rowTask
+	}}
 	for _, alpha := range s.AlphaSweep {
 		for _, frac := range s.CacheFractions {
 			for _, p := range []core.Policy{core.NewIB(), core.NewPB()} {
-				tasks = append(tasks, simRow(sim.Config{
+				sw.tasks = append(sw.tasks, simRow(sim.Config{
 					Workload: workload.Config{
 						NumObjects:  s.Objects,
 						NumRequests: s.Requests,
@@ -358,39 +378,34 @@ func Figure6(s Scale) (*Table, error) {
 			}
 		}
 	}
-	rows, err := runTasks(s.parallelism(), tasks)
-	if err != nil {
-		return nil, err
-	}
-	t.Rows = rows
-	return t, nil
+	return sw, nil
 }
 
 // Figure7 repeats Figure 5 under the high (NLANR-log) variability model.
-func Figure7(s Scale) (*Table, error) {
-	t, err := runPolicies(s, []core.Policy{core.NewIF(), core.NewPB(), core.NewIB()}, bandwidth.NLANRVariability())
-	if err != nil {
-		return nil, err
-	}
-	t.Name = "Figure 7: IF vs PB vs IB under NLANR-level bandwidth variability"
-	t.Note = "expect: delays rise for all; IB no worse than PB"
-	return t, nil
+func Figure7(s Scale) (*Table, error) { return tableOf(s, figure7Runner) }
+
+func figure7Runner(s Scale) (runner, error) {
+	return policySweep(s, TableMeta{
+		Name: "Figure 7: IF vs PB vs IB under NLANR-level bandwidth variability",
+		Note: "expect: delays rise for all; IB no worse than PB",
+	}, []core.Policy{core.NewIF(), core.NewPB(), core.NewIB()}, bandwidth.NLANRVariability())
 }
 
 // Figure8 repeats Figure 5 under the lower measured-path variability.
-func Figure8(s Scale) (*Table, error) {
-	t, err := runPolicies(s, []core.Policy{core.NewIF(), core.NewPB(), core.NewIB()}, bandwidth.MeasuredVariability())
-	if err != nil {
-		return nil, err
-	}
-	t.Name = "Figure 8: IF vs PB vs IB under measured-path bandwidth variability"
-	t.Note = "expect: PB regains the best delay/quality"
-	return t, nil
+func Figure8(s Scale) (*Table, error) { return tableOf(s, figure8Runner) }
+
+func figure8Runner(s Scale) (runner, error) {
+	return policySweep(s, TableMeta{
+		Name: "Figure 8: IF vs PB vs IB under measured-path bandwidth variability",
+		Note: "expect: PB regains the best delay/quality",
+	}, []core.Policy{core.NewIF(), core.NewPB(), core.NewIB()}, bandwidth.MeasuredVariability())
 }
 
 // Figure9 sweeps the bandwidth under-estimation factor e between IB
 // (e=0) and PB (e=1) under NLANR variability.
-func Figure9(s Scale) (*Table, error) {
+func Figure9(s Scale) (*Table, error) { return tableOf(s, figure9Runner) }
+
+func figure9Runner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
@@ -398,19 +413,18 @@ func Figure9(s Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
+	sw := &taskSweep{meta: TableMeta{
 		Name:   "Figure 9: Effect of partial caching based on bandwidth estimation (delay objective)",
 		Note:   "expect: traffic reduction decreases in e; delay minimized at moderate e",
 		Header: []string{"e", "cache_pct", "traffic_reduction", "avg_delay_s", "avg_quality"},
-	}
-	var tasks []rowTask
+	}}
 	for _, e := range s.ESweep {
 		p, err := core.NewHybrid(e)
 		if err != nil {
 			return nil, err
 		}
 		for _, frac := range s.CacheFractions {
-			tasks = append(tasks, simRow(sim.Config{
+			sw.tasks = append(sw.tasks, simRow(sim.Config{
 				Workload:   s.workload(),
 				CacheBytes: int64(frac * float64(total)),
 				Policy:     p,
@@ -425,40 +439,35 @@ func Figure9(s Scale) (*Table, error) {
 			}))
 		}
 	}
-	rows, err := runTasks(s.parallelism(), tasks)
-	if err != nil {
-		return nil, err
-	}
-	t.Rows = rows
-	return t, nil
+	return sw, nil
 }
 
 // Figure10 compares IF, PB-V and IB-V on the revenue objective under
 // constant bandwidth.
-func Figure10(s Scale) (*Table, error) {
-	t, err := runPolicies(s, []core.Policy{core.NewIF(), core.NewPBV(), core.NewIBV()}, bandwidth.NoVariation{})
-	if err != nil {
-		return nil, err
-	}
-	t.Name = "Figure 10: IF vs PB-V vs IB-V under constant bandwidth (value objective)"
-	t.Note = "expect: IF best traffic but worst value; PB-V best value; IB-V balanced"
-	return t, nil
+func Figure10(s Scale) (*Table, error) { return tableOf(s, figure10Runner) }
+
+func figure10Runner(s Scale) (runner, error) {
+	return policySweep(s, TableMeta{
+		Name: "Figure 10: IF vs PB-V vs IB-V under constant bandwidth (value objective)",
+		Note: "expect: IF best traffic but worst value; PB-V best value; IB-V balanced",
+	}, []core.Policy{core.NewIF(), core.NewPBV(), core.NewIBV()}, bandwidth.NoVariation{})
 }
 
 // Figure11 repeats Figure 10 under measured-path variability.
-func Figure11(s Scale) (*Table, error) {
-	t, err := runPolicies(s, []core.Policy{core.NewIF(), core.NewPBV(), core.NewIBV()}, bandwidth.MeasuredVariability())
-	if err != nil {
-		return nil, err
-	}
-	t.Name = "Figure 11: IF vs PB-V vs IB-V under measured-path variability (value objective)"
-	t.Note = "expect: IB-V the best compromise (and top value) once bandwidth varies"
-	return t, nil
+func Figure11(s Scale) (*Table, error) { return tableOf(s, figure11Runner) }
+
+func figure11Runner(s Scale) (runner, error) {
+	return policySweep(s, TableMeta{
+		Name: "Figure 11: IF vs PB-V vs IB-V under measured-path variability (value objective)",
+		Note: "expect: IB-V the best compromise (and top value) once bandwidth varies",
+	}, []core.Policy{core.NewIF(), core.NewPBV(), core.NewIBV()}, bandwidth.MeasuredVariability())
 }
 
 // Figure12 sweeps the under-estimation factor e for the value objective
 // under NLANR variability.
-func Figure12(s Scale) (*Table, error) {
+func Figure12(s Scale) (*Table, error) { return tableOf(s, figure12Runner) }
+
+func figure12Runner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
@@ -466,19 +475,18 @@ func Figure12(s Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
+	sw := &taskSweep{meta: TableMeta{
 		Name:   "Figure 12: Effect of partial caching based on bandwidth estimation (value objective)",
 		Note:   "expect: total value maximized at a moderate e",
 		Header: []string{"e", "cache_pct", "traffic_reduction", "total_value"},
-	}
-	var tasks []rowTask
+	}}
 	for _, e := range s.ESweep {
 		p, err := core.NewHybridV(e)
 		if err != nil {
 			return nil, err
 		}
 		for _, frac := range s.CacheFractions {
-			tasks = append(tasks, simRow(sim.Config{
+			sw.tasks = append(sw.tasks, simRow(sim.Config{
 				Workload:   s.workload(),
 				CacheBytes: int64(frac * float64(total)),
 				Policy:     p,
@@ -492,18 +500,15 @@ func Figure12(s Scale) (*Table, error) {
 			}))
 		}
 	}
-	rows, err := runTasks(s.parallelism(), tasks)
-	if err != nil {
-		return nil, err
-	}
-	t.Rows = rows
-	return t, nil
+	return sw, nil
 }
 
 // AblationEvictionGranularity compares byte-granular (partial) eviction
 // with whole-object eviction for the PB policy - the design choice
 // called out in DESIGN.md section 6.
-func AblationEvictionGranularity(s Scale) (*Table, error) {
+func AblationEvictionGranularity(s Scale) (*Table, error) { return tableOf(s, ablationEvictionRunner) }
+
+func ablationEvictionRunner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
@@ -511,17 +516,16 @@ func AblationEvictionGranularity(s Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
+	sw := &taskSweep{meta: TableMeta{
 		Name:   "Ablation: byte-granular vs whole-object eviction (PB policy, constant bandwidth)",
 		Header: []string{"cache_pct", "eviction", "traffic_reduction", "avg_delay_s", "avg_quality"},
-	}
-	var tasks []rowTask
+	}}
 	for _, frac := range s.CacheFractions {
 		for _, mode := range []struct {
 			label string
 			whole bool
 		}{{"partial", false}, {"whole", true}} {
-			tasks = append(tasks, simRow(sim.Config{
+			sw.tasks = append(sw.tasks, simRow(sim.Config{
 				Workload:     s.workload(),
 				CacheBytes:   int64(frac * float64(total)),
 				Policy:       core.NewPB(),
@@ -536,17 +540,14 @@ func AblationEvictionGranularity(s Scale) (*Table, error) {
 			}))
 		}
 	}
-	rows, err := runTasks(s.parallelism(), tasks)
-	if err != nil {
-		return nil, err
-	}
-	t.Rows = rows
-	return t, nil
+	return sw, nil
 }
 
 // AblationEstimators compares the oracle-mean estimator with the passive
 // EWMA estimator of Section 2.7 under measured-path variability.
-func AblationEstimators(s Scale) (*Table, error) {
+func AblationEstimators(s Scale) (*Table, error) { return tableOf(s, ablationEstimatorsRunner) }
+
+func ablationEstimatorsRunner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
@@ -554,10 +555,10 @@ func AblationEstimators(s Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
+	sw := &taskSweep{meta: TableMeta{
 		Name:   "Ablation: oracle vs passive EWMA bandwidth estimation (PB policy, measured variability)",
 		Header: []string{"cache_pct", "estimator", "traffic_reduction", "avg_delay_s", "avg_quality"},
-	}
+	}}
 	estimators := []struct {
 		label   string
 		factory sim.EstimatorFactory
@@ -566,10 +567,9 @@ func AblationEstimators(s Scale) (*Table, error) {
 		{"ewma_0.3", sim.EWMAEstimator(0.3)},
 		{"underestimate_0.5", sim.UnderestimatingOracle(0.5)},
 	}
-	var tasks []rowTask
 	for _, frac := range s.CacheFractions {
 		for _, est := range estimators {
-			tasks = append(tasks, simRow(sim.Config{
+			sw.tasks = append(sw.tasks, simRow(sim.Config{
 				Workload:   s.workload(),
 				CacheBytes: int64(frac * float64(total)),
 				Policy:     core.NewPB(),
@@ -585,29 +585,19 @@ func AblationEstimators(s Scale) (*Table, error) {
 			}))
 		}
 	}
-	rows, err := runTasks(s.parallelism(), tasks)
-	if err != nil {
-		return nil, err
-	}
-	t.Rows = rows
-	return t, nil
+	return sw, nil
 }
 
-// All returns every experiment in paper order, followed by the ablations
-// and the Section 6 extensions.
+// All returns every experiment in paper order, followed by the
+// ablations, the Section 6 extensions, the scenario matrix, and the
+// adaptively refined axis sweeps.
 func All(s Scale) ([]*Table, error) {
-	builders := []func(Scale) (*Table, error){
-		Table1, Figure2, Figure3, Figure4, Figure5, Figure6,
-		Figure7, Figure8, Figure9, Figure10, Figure11, Figure12,
-		AblationEvictionGranularity, AblationEstimators,
-		ExtensionStreamMerging, ExtensionPartialViewing, ExtensionActiveProbing,
-		ExtensionBaselines, ScenarioMatrix,
-	}
-	out := make([]*Table, 0, len(builders))
-	for _, build := range builders {
-		t, err := build(s)
+	exps := Experiments()
+	out := make([]*Table, 0, len(exps))
+	for _, e := range exps {
+		t, err := e.Table(s)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %w", err)
+			return nil, fmt.Errorf("experiments: %s: %w", e.Key, err)
 		}
 		out = append(out, t)
 	}

@@ -178,8 +178,11 @@ func TestAllProducesEveryTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 19 {
-		t.Fatalf("All produced %d tables, want 19", len(tables))
+	if len(tables) != len(Experiments()) {
+		t.Fatalf("All produced %d tables, want %d", len(tables), len(Experiments()))
+	}
+	if len(tables) != 22 {
+		t.Fatalf("All produced %d tables, want 22 (paper suite + ablations + extensions + scenarios + refined)", len(tables))
 	}
 	seen := map[string]bool{}
 	for _, tbl := range tables {

@@ -16,7 +16,9 @@ import (
 // Table 1 request trace it compares origin traffic under plain unicast,
 // batching (30 s window), threshold patching (analytic optimum T* per
 // object), and patching on top of PB's cached prefixes.
-func ExtensionStreamMerging(s Scale) (*Table, error) {
+func ExtensionStreamMerging(s Scale) (*Table, error) { return tableOf(s, extensionStreamMergingRunner) }
+
+func extensionStreamMergingRunner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
@@ -103,18 +105,18 @@ func ExtensionStreamMerging(s Scale) (*Table, error) {
 		totals["patching+PB_cache"].origin += patCached.OriginBytes
 	}
 
-	t := &Table{
+	t := &staticTable{meta: TableMeta{
 		Name:   "Extension: stream merging (batching/patching) composed with partial caching",
 		Note:   "Section 6 future work; PB prefixes sized by the Section 2.3 optimum at 5% cache",
 		Header: []string{"technique", "origin_GB", "savings_vs_unicast", "avg_added_delay_s"},
-	}
+	}}
 	for _, key := range []string{"unicast", "batch_30s", "patching", "patching+PB_cache"} {
 		a := totals[key]
 		delay := 0.0
 		if key == "batch_30s" && len(w.Requests) > 0 {
 			delay = a.delay / float64(len(w.Requests))
 		}
-		t.Rows = append(t.Rows, []string{
+		t.rows = append(t.rows, []string{
 			key,
 			f1(float64(a.origin) / float64(units.GB)),
 			f3(1 - a.origin/unicastBytes),
@@ -127,7 +129,9 @@ func ExtensionStreamMerging(s Scale) (*Table, error) {
 // ExtensionPartialViewing measures how GISMO-style partial-viewing
 // sessions (clients stopping early) change the traffic economics of
 // prefix caching.
-func ExtensionPartialViewing(s Scale) (*Table, error) {
+func ExtensionPartialViewing(s Scale) (*Table, error) { return tableOf(s, extensionPartialViewingRunner) }
+
+func extensionPartialViewingRunner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
@@ -135,15 +139,14 @@ func ExtensionPartialViewing(s Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
+	sw := &taskSweep{meta: TableMeta{
 		Name:   "Extension: partial-viewing sessions (GISMO user interactivity)",
 		Note:   "prefix caching gains relative effectiveness when sessions only watch the head of the stream",
 		Header: []string{"partial_view_prob", "policy", "traffic_reduction", "avg_delay_s", "hit_ratio"},
-	}
-	var tasks []rowTask
+	}}
 	for _, prob := range []float64{0, 0.3, 0.7} {
 		for _, p := range []core.Policy{core.NewIF(), core.NewPB()} {
-			tasks = append(tasks, simRow(sim.Config{
+			sw.tasks = append(sw.tasks, simRow(sim.Config{
 				Workload: workload.Config{
 					NumObjects:      s.Objects,
 					NumRequests:     s.Requests,
@@ -161,19 +164,16 @@ func ExtensionPartialViewing(s Scale) (*Table, error) {
 			}))
 		}
 	}
-	rows, err := runTasks(s.parallelism(), tasks)
-	if err != nil {
-		return nil, err
-	}
-	t.Rows = rows
-	return t, nil
+	return sw, nil
 }
 
 // ExtensionBaselines positions the paper's network-aware policies
 // against the classical replacement algorithms Section 3.3 names (LRU,
 // LFU) and the GreedyDual-Size family of the authors' earlier work [17],
 // under measured-path variability.
-func ExtensionBaselines(s Scale) (*Table, error) {
+func ExtensionBaselines(s Scale) (*Table, error) { return tableOf(s, extensionBaselinesRunner) }
+
+func extensionBaselinesRunner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
@@ -181,11 +181,11 @@ func ExtensionBaselines(s Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
+	sw := &taskSweep{meta: TableMeta{
 		Name:   "Extension: classical baselines (LRU/LFU/GreedyDual-Size) vs network-aware policies",
 		Note:   "measured-path variability, 5% cache; GDS-family policies are stateful and built per run",
 		Header: []string{"policy", "traffic_reduction", "avg_delay_s", "avg_quality", "hit_ratio"},
-	}
+	}}
 	factories := []struct {
 		label string
 		make  func() core.Policy
@@ -198,9 +198,8 @@ func ExtensionBaselines(s Scale) (*Table, error) {
 		{"IB", core.NewIB},
 		{"PB", core.NewPB},
 	}
-	var tasks []rowTask
 	for _, f := range factories {
-		tasks = append(tasks, simRow(sim.Config{
+		sw.tasks = append(sw.tasks, simRow(sim.Config{
 			Workload:      s.workload(),
 			CacheBytes:    int64(0.05 * float64(total)),
 			PolicyFactory: f.make,
@@ -214,18 +213,15 @@ func ExtensionBaselines(s Scale) (*Table, error) {
 			}
 		}))
 	}
-	rows, err := runTasks(s.parallelism(), tasks)
-	if err != nil {
-		return nil, err
-	}
-	t.Rows = rows
-	return t, nil
+	return sw, nil
 }
 
 // ExtensionActiveProbing compares the oracle estimator with the active
 // Padhye-model prober at increasing measurement noise (Section 6:
 // integrating active bandwidth measurement into proxy caches).
-func ExtensionActiveProbing(s Scale) (*Table, error) {
+func ExtensionActiveProbing(s Scale) (*Table, error) { return tableOf(s, extensionActiveProbingRunner) }
+
+func extensionActiveProbingRunner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
@@ -233,11 +229,11 @@ func ExtensionActiveProbing(s Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
+	sw := &taskSweep{meta: TableMeta{
 		Name:   "Extension: active bandwidth probing (Padhye model) vs oracle estimation",
 		Note:   "PB policy under measured-path variability, 5% cache",
 		Header: []string{"estimator", "traffic_reduction", "avg_delay_s", "avg_quality"},
-	}
+	}}
 	estimators := []struct {
 		label   string
 		factory sim.EstimatorFactory
@@ -247,9 +243,8 @@ func ExtensionActiveProbing(s Scale) (*Table, error) {
 		{"active_probe_jitter_0.20", sim.ActiveProbeEstimator(0.20)},
 		{"active_probe_jitter_0.40", sim.ActiveProbeEstimator(0.40)},
 	}
-	var tasks []rowTask
 	for _, est := range estimators {
-		tasks = append(tasks, simRow(sim.Config{
+		sw.tasks = append(sw.tasks, simRow(sim.Config{
 			Workload:   s.workload(),
 			CacheBytes: int64(0.05 * float64(total)),
 			Policy:     core.NewPB(),
@@ -263,10 +258,5 @@ func ExtensionActiveProbing(s Scale) (*Table, error) {
 			}
 		}))
 	}
-	rows, err := runTasks(s.parallelism(), tasks)
-	if err != nil {
-		return nil, err
-	}
-	t.Rows = rows
-	return t, nil
+	return sw, nil
 }

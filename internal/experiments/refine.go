@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"sort"
+
+	"streamcache/internal/bandwidth"
+	"streamcache/internal/core"
+	"streamcache/internal/metrics"
+	"streamcache/internal/sim"
+)
+
+// Adaptive sweep refinement: after a coarse pass over one numeric axis
+// (underestimation factor e, variability sigma, cache fraction), the
+// driver repeatedly bisects the axis intervals with the steepest metric
+// gradient until a point budget is exhausted, so sweep points
+// concentrate where the response surface bends instead of where the
+// grid happened to fall.
+//
+// Determinism contract: refinement decisions are keyed exclusively on
+// completed rows — the coarse pass is a full barrier, and each round
+// selects a fixed number of intervals (refineRoundPoints, independent
+// of Parallelism) from the deterministic point set, evaluates them over
+// the worker pool, and re-ranks. Every simulated point derives its
+// randomness from the scale seed via the existing SplitMix64 scheme
+// (sim.Run splits cfg.Seed per run), so the selected points and the
+// streamed rows are byte-identical at any Parallelism.
+
+// refineRoundPoints is the number of intervals bisected per refinement
+// round. It is a constant, never the worker count: a round's selections
+// may not depend on how many points could run concurrently, or the
+// refined point set would vary with Parallelism.
+const refineRoundPoints = 2
+
+// minGapDivisor bounds refinement depth: an interval narrower than
+// 2 * span/minGapDivisor is never bisected.
+const minGapDivisor = 256
+
+// pointFn evaluates one axis point: the rendered row (without the
+// trailing source cell) plus the scalar metric refinement ranks by.
+// innerParallelism is the worker bound left over for parallelism
+// inside the point (e.g. sim.Run's replication pool): wide when few
+// points are in flight (refinement rounds), 1 when the outer pool is
+// already saturated (the coarse pass). Results must not depend on it.
+type pointFn func(x float64, innerParallelism int) (row []string, metric float64, err error)
+
+// adaptiveSweep is a runner that streams a coarse axis pass followed by
+// gradient-guided refinement rounds. Rows carry a trailing "source"
+// cell ("coarse" or "refined"); meta.Header must already include it.
+type adaptiveSweep struct {
+	meta   TableMeta
+	axis   []float64 // ascending coarse grid
+	budget int       // extra points beyond the coarse pass
+	point  pointFn
+}
+
+func (a *adaptiveSweep) tableMeta() TableMeta { return a.meta }
+
+// axisPoint is one completed sweep point.
+type axisPoint struct {
+	x      float64
+	metric float64
+}
+
+// evalOrdered evaluates the given axis values over the worker pool,
+// emitting each row (tagged with source) in slice order and returning
+// the completed points. Fail-fast semantics match streamTasks.
+func (a *adaptiveSweep) evalOrdered(parallelism int, xs []float64, source string,
+	emit func(row []string) error) ([]axisPoint, error) {
+
+	type eval struct {
+		row    []string
+		metric float64
+	}
+	// Split the worker budget between the outer point pool and each
+	// point's inner pool so a phase with few in-flight points (a
+	// refinement round) still keeps the cores busy, while a wide phase
+	// (the coarse pass) does not oversubscribe them P x P.
+	inner := 1
+	if len(xs) > 0 {
+		if inner = parallelism / len(xs); inner < 1 {
+			inner = 1
+		}
+	}
+	pts := make([]axisPoint, 0, len(xs))
+	err := streamOrdered(parallelism, len(xs), func(i int) (eval, error) {
+		row, metric, err := a.point(xs[i], inner)
+		return eval{row: row, metric: metric}, err
+	}, func(i int, v eval) error {
+		if err := emit(append(v.row, source)); err != nil {
+			return err
+		}
+		pts = append(pts, axisPoint{x: xs[i], metric: v.metric})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+func (a *adaptiveSweep) run(parallelism int, emit func(row []string) error) error {
+	// Coarse pass: the full axis, streamed in grid order. Refinement
+	// cannot begin before every coarse row has landed (its decisions are
+	// keyed on the complete coarse response curve).
+	points, err := a.evalOrdered(parallelism, a.axis, "coarse", emit)
+	if err != nil {
+		return err
+	}
+	if len(a.axis) < 2 || a.budget <= 0 {
+		return nil
+	}
+	minGap := 2 * (a.axis[len(a.axis)-1] - a.axis[0]) / minGapDivisor
+
+	remaining := a.budget
+	for remaining > 0 {
+		xs := make([]float64, len(points))
+		ys := make([]float64, len(points))
+		for i, p := range points {
+			xs[i], ys[i] = p.x, p.metric
+		}
+		grads, err := metrics.Gradients(xs, ys)
+		if err != nil {
+			return err
+		}
+		// Rank intervals by gradient, ties broken toward the left end of
+		// the axis; both keys are pure functions of completed rows.
+		type interval struct {
+			left int // index into points
+			grad float64
+		}
+		var candidates []interval
+		for i, g := range grads {
+			if xs[i+1]-xs[i] > minGap {
+				candidates = append(candidates, interval{left: i, grad: g})
+			}
+		}
+		sort.SliceStable(candidates, func(i, j int) bool {
+			if candidates[i].grad != candidates[j].grad {
+				return candidates[i].grad > candidates[j].grad
+			}
+			return xs[candidates[i].left] < xs[candidates[j].left]
+		})
+		k := refineRoundPoints
+		if k > remaining {
+			k = remaining
+		}
+		if k > len(candidates) {
+			k = len(candidates)
+		}
+		if k == 0 {
+			return nil // axis fully resolved before the budget ran out
+		}
+		mids := make([]float64, k)
+		for i := 0; i < k; i++ {
+			mids[i] = (xs[candidates[i].left] + xs[candidates[i].left+1]) / 2
+		}
+		refined, err := a.evalOrdered(parallelism, mids, "refined", emit)
+		if err != nil {
+			return err
+		}
+		points = append(points, refined...)
+		sort.Slice(points, func(i, j int) bool { return points[i].x < points[j].x })
+		remaining -= k
+	}
+	return nil
+}
+
+// refinedSimSweep assembles the common single-axis adaptive experiment:
+// one simulation per axis point at the scale's middle cache fraction.
+func refinedSimSweep(s Scale, meta TableMeta, axis []float64,
+	point pointFn) (runner, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &adaptiveSweep{meta: meta, axis: axis, budget: s.RefineBudget, point: point}, nil
+}
+
+// RefinedESweep is Figure 9's underestimation axis made adaptive: a
+// coarse pass over ESweep at the middle cache fraction, then
+// RefineBudget extra points bisecting the steepest service-delay
+// gradients — resolving the delay-minimizing e the paper reads off a
+// fixed grid.
+func RefinedESweep(s Scale) (*Table, error) { return tableOf(s, refinedESweepRunner) }
+
+func refinedESweepRunner(s Scale) (runner, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	total, err := s.totalBytes()
+	if err != nil {
+		return nil, err
+	}
+	frac := s.midFraction()
+	return refinedSimSweep(s, TableMeta{
+		Name:   "Refined sweep: underestimation factor e, adaptive (delay objective)",
+		Note:   "coarse ESweep pass, then gradient-guided bisection of avg_delay_s; mid-size cache, NLANR variability",
+		Header: []string{"e", "cache_pct", "traffic_reduction", "avg_delay_s", "avg_quality", "source"},
+	}, s.ESweep, func(e float64, innerPar int) ([]string, float64, error) {
+		p, err := core.NewHybrid(e)
+		if err != nil {
+			return nil, 0, err
+		}
+		m, err := sim.Run(sim.Config{
+			Workload:    s.workload(),
+			CacheBytes:  int64(frac * float64(total)),
+			Policy:      p,
+			Variation:   bandwidth.NLANRVariability(),
+			Runs:        s.Runs,
+			Seed:        s.Seed,
+			Parallelism: innerPar,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return []string{
+			f3(e), f3(frac * 100),
+			f3(m.TrafficReductionRatio), f1(m.AvgServiceDelay), f3(m.AvgStreamQuality),
+		}, m.AvgServiceDelay, nil
+	})
+}
+
+// RefinedSigmaSweep sweeps the lognormal bandwidth-variability sigma
+// adaptively for the PB policy, zooming into the variability levels
+// where service delay bends fastest.
+func RefinedSigmaSweep(s Scale) (*Table, error) { return tableOf(s, refinedSigmaSweepRunner) }
+
+func refinedSigmaSweepRunner(s Scale) (runner, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	total, err := s.totalBytes()
+	if err != nil {
+		return nil, err
+	}
+	frac := s.midFraction()
+	return refinedSimSweep(s, TableMeta{
+		Name:   "Refined sweep: bandwidth-variability sigma, adaptive (PB policy)",
+		Note:   "coarse SigmaSweep pass, then gradient-guided bisection of avg_delay_s; mid-size cache",
+		Header: []string{"sigma", "cache_pct", "traffic_reduction", "avg_delay_s", "avg_quality", "source"},
+	}, s.sigmas(), func(sigma float64, innerPar int) ([]string, float64, error) {
+		variation, err := bandwidth.NewLognormalRatio(sigma)
+		if err != nil {
+			return nil, 0, err
+		}
+		m, err := sim.Run(sim.Config{
+			Workload:    s.workload(),
+			CacheBytes:  int64(frac * float64(total)),
+			Policy:      core.NewPB(),
+			Variation:   variation,
+			Runs:        s.Runs,
+			Seed:        s.Seed,
+			Parallelism: innerPar,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return []string{
+			f3(sigma), f3(frac * 100),
+			f3(m.TrafficReductionRatio), f1(m.AvgServiceDelay), f3(m.AvgStreamQuality),
+		}, m.AvgServiceDelay, nil
+	})
+}
+
+// RefinedCacheSweep sweeps the cache fraction adaptively for the PB
+// policy under constant bandwidth, concentrating points where the
+// traffic-reduction curve has the steepest knee (Figure 5's x axis).
+func RefinedCacheSweep(s Scale) (*Table, error) { return tableOf(s, refinedCacheSweepRunner) }
+
+func refinedCacheSweepRunner(s Scale) (runner, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	total, err := s.totalBytes()
+	if err != nil {
+		return nil, err
+	}
+	return refinedSimSweep(s, TableMeta{
+		Name:   "Refined sweep: cache fraction, adaptive (PB policy, constant bandwidth)",
+		Note:   "coarse CacheFractions pass, then gradient-guided bisection of traffic_reduction",
+		Header: []string{"cache_pct", "traffic_reduction", "avg_delay_s", "avg_quality", "source"},
+	}, s.CacheFractions, func(frac float64, innerPar int) ([]string, float64, error) {
+		m, err := sim.Run(sim.Config{
+			Workload:    s.workload(),
+			CacheBytes:  int64(frac * float64(total)),
+			Policy:      core.NewPB(),
+			Runs:        s.Runs,
+			Seed:        s.Seed,
+			Parallelism: innerPar,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return []string{
+			f3(frac * 100),
+			f3(m.TrafficReductionRatio), f1(m.AvgServiceDelay), f3(m.AvgStreamQuality),
+		}, m.TrafficReductionRatio, nil
+	})
+}

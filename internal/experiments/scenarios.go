@@ -6,6 +6,21 @@ import (
 	"streamcache/internal/sim"
 )
 
+// defaultSigmas is the fallback variability grid when the scale carries
+// no SigmaSweep.
+func (s Scale) sigmas() []float64 {
+	if len(s.SigmaSweep) > 0 {
+		return s.SigmaSweep
+	}
+	return []float64{0, 0.25, 0.55}
+}
+
+// midFraction is the scale's middle cache fraction, the fixed cache
+// size of the single-axis scenario sweeps.
+func (s Scale) midFraction() float64 {
+	return s.CacheFractions[len(s.CacheFractions)/2]
+}
+
 // ScenarioMatrix sweeps the three-dimensional scenario grid the paper
 // never ran: bandwidth-estimator type x lognormal variability level
 // (sigma of the sample-to-mean ratio) x cache policy, at the middle
@@ -14,7 +29,9 @@ import (
 // and was impractical sequentially: at paper scale it is
 // |estimators| x |sigmas| x |policies| full simulations, which the
 // parallel engine fans out across cores.
-func ScenarioMatrix(s Scale) (*Table, error) {
+func ScenarioMatrix(s Scale) (*Table, error) { return tableOf(s, scenarioMatrixRunner) }
+
+func scenarioMatrixRunner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
@@ -22,11 +39,7 @@ func ScenarioMatrix(s Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	sigmas := s.SigmaSweep
-	if len(sigmas) == 0 {
-		sigmas = []float64{0, 0.25, 0.55}
-	}
-	frac := s.CacheFractions[len(s.CacheFractions)/2]
+	frac := s.midFraction()
 	estimators := []struct {
 		label   string
 		factory sim.EstimatorFactory
@@ -38,23 +51,22 @@ func ScenarioMatrix(s Scale) (*Table, error) {
 	}
 	policies := []core.Policy{core.NewIF(), core.NewPB(), core.NewIB()}
 
-	t := &Table{
+	sw := &taskSweep{meta: TableMeta{
 		Name: "Scenario matrix: estimator x variability sigma x policy",
 		Note: "mid-size cache; sigma 0 = constant bandwidth, 0.25 ~ measured paths, 0.55 ~ NLANR logs",
 		Header: []string{
 			"sigma", "estimator", "policy",
 			"traffic_reduction", "avg_delay_s", "avg_quality", "total_value", "hit_ratio",
 		},
-	}
-	var tasks []rowTask
-	for _, sigma := range sigmas {
+	}}
+	for _, sigma := range s.sigmas() {
 		variation, err := bandwidth.NewLognormalRatio(sigma)
 		if err != nil {
 			return nil, err
 		}
 		for _, est := range estimators {
 			for _, p := range policies {
-				tasks = append(tasks, simRow(sim.Config{
+				sw.tasks = append(sw.tasks, simRow(sim.Config{
 					Workload:   s.workload(),
 					CacheBytes: int64(frac * float64(total)),
 					Policy:     p,
@@ -72,10 +84,5 @@ func ScenarioMatrix(s Scale) (*Table, error) {
 			}
 		}
 	}
-	rows, err := runTasks(s.parallelism(), tasks)
-	if err != nil {
-		return nil, err
-	}
-	t.Rows = rows
-	return t, nil
+	return sw, nil
 }

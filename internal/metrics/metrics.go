@@ -261,6 +261,30 @@ func Quantile(samples []float64, q float64) (float64, error) {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
 }
 
+// Gradients returns the absolute finite-difference slope of each
+// adjacent pair of a sampled curve: out[i] = |ys[i+1]-ys[i]| /
+// (xs[i+1]-xs[i]). xs must be strictly increasing and at least two
+// points long. The adaptive sweep refinement in internal/experiments
+// ranks axis intervals by these slopes to decide where to bisect.
+func Gradients(xs, ys []float64) ([]float64, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("%w: gradients over %d xs but %d ys", ErrBadParam, len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("%w: gradients need at least 2 points, got %d", ErrBadParam, len(xs))
+	}
+	out := make([]float64, len(xs)-1)
+	for i := range out {
+		dx := xs[i+1] - xs[i]
+		if dx <= 0 || math.IsNaN(dx) {
+			return nil, fmt.Errorf("%w: xs not strictly increasing at index %d (%v -> %v)",
+				ErrBadParam, i, xs[i], xs[i+1])
+		}
+		out[i] = math.Abs(ys[i+1]-ys[i]) / dx
+	}
+	return out, nil
+}
+
 // ECDF is an empirical cumulative distribution function built from raw
 // samples. It supports evaluation at arbitrary points and inverse
 // (quantile) lookups, which the bandwidth package uses to turn measured

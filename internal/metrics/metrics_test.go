@@ -343,3 +343,36 @@ func TestECDFInverseAtRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestGradients(t *testing.T) {
+	xs := []float64{0, 1, 3}
+	ys := []float64{2, 4, 3}
+	got, err := Gradients(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 0.5}
+	if len(got) != len(want) {
+		t.Fatalf("gradients = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("gradient %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGradientsRejectsBadInput(t *testing.T) {
+	if _, err := Gradients([]float64{0, 1}, []float64{0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Gradients([]float64{0}, []float64{0}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := Gradients([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("non-increasing xs accepted")
+	}
+	if _, err := Gradients([]float64{1, 0}, []float64{1, 2}); err == nil {
+		t.Error("decreasing xs accepted")
+	}
+}

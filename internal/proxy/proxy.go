@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -50,20 +51,35 @@ type Stats struct {
 	// EstimatesBps maps each origin base URL to the current passive
 	// bandwidth estimate of its path (bytes/s).
 	EstimatesBps map[string]int64 `json:"estimatesBps"`
+	// DefaultOrigin is the base URL misses without an explicit
+	// Meta.Origin are fetched from; it anchors EstimateBps("").
+	DefaultOrigin string `json:"defaultOrigin"`
 }
 
-// EstimateBps returns the path estimate for the given origin ("" =
-// default origin estimate if present, else any single estimate).
+// EstimateBps returns the path estimate for the given origin. An empty
+// origin asks for "the" path estimate, which is resolved
+// deterministically: the default origin's estimate if one exists, else
+// the estimate of the first origin in sorted key order. Unknown
+// non-empty origins (and an empty estimate map) return 0.
 func (s Stats) EstimateBps(origin string) int64 {
 	if v, ok := s.EstimatesBps[origin]; ok {
 		return v
 	}
-	if origin == "" && len(s.EstimatesBps) == 1 {
-		for _, v := range s.EstimatesBps {
-			return v
-		}
+	if origin != "" {
+		return 0
 	}
-	return 0
+	if v, ok := s.EstimatesBps[s.DefaultOrigin]; ok {
+		return v
+	}
+	keys := make([]string, 0, len(s.EstimatesBps))
+	for k := range s.EstimatesBps {
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return 0
+	}
+	sort.Strings(keys)
+	return s.EstimatesBps[keys[0]]
 }
 
 // NewProxy builds a proxy over catalog that fetches misses from
@@ -288,5 +304,6 @@ func (p *Proxy) Snapshot() Stats {
 	for origin, est := range p.estimators {
 		s.EstimatesBps[origin] = int64(est.Estimate())
 	}
+	s.DefaultOrigin = p.originURL
 	return s
 }

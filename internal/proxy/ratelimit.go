@@ -3,6 +3,7 @@ package proxy
 import (
 	"fmt"
 	"io"
+	"math"
 	"time"
 )
 
@@ -60,7 +61,14 @@ func (r *rateLimitedWriter) Write(p []byte) (int, error) {
 	return written, nil
 }
 
-// waitFor blocks until `need` tokens are available and consumes them.
+// waitFor consumes `need` tokens, sleeping off any debt. The bucket is
+// allowed to go negative and each sleep is credited with the time that
+// actually elapsed, not the time requested: timers routinely oversleep,
+// and zeroing the bucket on wake-up — as an earlier version did —
+// discarded the tokens accrued during the overshoot on every chunk,
+// pinning delivered throughput systematically below the configured
+// rate. The burst cap still bounds a positive balance (idle accrual and
+// retained oversleep credit alike), so burstiness stays limited.
 func (r *rateLimitedWriter) waitFor(need float64) {
 	now := r.now()
 	if r.last.IsZero() {
@@ -71,13 +79,18 @@ func (r *rateLimitedWriter) waitFor(need float64) {
 	if r.tokens > r.burst {
 		r.tokens = r.burst
 	}
-	if r.tokens >= need {
-		r.tokens -= need
-		return
+	r.tokens -= need
+	for r.tokens < 0 {
+		// Round the wait up to a whole nanosecond: truncation would ask
+		// for slightly less time than the debt, leaving a sub-ns deficit
+		// whose next wait truncates to zero — a busy spin until the
+		// clock happens to advance.
+		r.sleep(time.Duration(math.Ceil(-r.tokens / r.rate * float64(time.Second))))
+		now = r.now()
+		r.tokens += now.Sub(r.last).Seconds() * r.rate
+		r.last = now
+		if r.tokens > r.burst {
+			r.tokens = r.burst
+		}
 	}
-	deficit := need - r.tokens
-	wait := time.Duration(deficit / r.rate * float64(time.Second))
-	r.sleep(wait)
-	r.last = r.now()
-	r.tokens = 0
 }

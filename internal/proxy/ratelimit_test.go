@@ -1,0 +1,207 @@
+package proxy
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a rateLimitedWriter with injected time: sleeps
+// advance the clock by the requested duration times an oversleep
+// factor plus a fixed overshoot, modeling timer slop.
+type fakeClock struct {
+	now       time.Time
+	factor    float64       // multiplicative oversleep (1 = exact)
+	overshoot time.Duration // additive oversleep per sleep
+	sleeps    int
+}
+
+func newFakeClock(factor float64, overshoot time.Duration) *fakeClock {
+	return &fakeClock{now: time.Unix(0, 0), factor: factor, overshoot: overshoot}
+}
+
+func (c *fakeClock) Now() time.Time { return c.now }
+
+func (c *fakeClock) Sleep(d time.Duration) {
+	c.sleeps++
+	c.now = c.now.Add(time.Duration(float64(d)*c.factor) + c.overshoot)
+}
+
+// install wires the clock into w.
+func (c *fakeClock) install(w *rateLimitedWriter) {
+	w.now = c.Now
+	w.sleep = c.Sleep
+}
+
+// TestRateLimitedWriterThroughputUnderOversleep is the regression test
+// for the token-discard bug: waitFor used to zero the bucket after
+// every sleep, so tokens accrued during timer oversleep were thrown
+// away and long-run delivered throughput sat systematically below the
+// configured rate. With elapsed-time crediting, throughput must stay
+// within 1% of the configured rate whatever the oversleep profile.
+func TestRateLimitedWriterThroughputUnderOversleep(t *testing.T) {
+	const rate = 256 * 1024 // 256 KB/s
+	scenarios := []struct {
+		name      string
+		factor    float64
+		overshoot time.Duration
+	}{
+		{"exact timer", 1.0, 0},
+		{"5% oversleep", 1.05, 0},
+		{"fixed 2ms overshoot", 1.0, 2 * time.Millisecond},
+		{"both", 1.10, 5 * time.Millisecond},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			w := newRateLimitedWriter(&buf, rate)
+			clock := newFakeClock(sc.factor, sc.overshoot)
+			clock.install(w)
+
+			// A long run: 8 MB in 64 KB writes = 32 simulated seconds.
+			const total = 8 << 20
+			chunk := make([]byte, 64*1024)
+			for written := 0; written < total; written += len(chunk) {
+				if _, err := w.Write(chunk); err != nil {
+					t.Fatal(err)
+				}
+			}
+			elapsed := clock.now.Sub(time.Unix(0, 0)).Seconds()
+			if elapsed <= 0 {
+				t.Fatal("clock never advanced")
+			}
+			got := float64(total) / elapsed
+			if rel := math.Abs(got-rate) / rate; rel > 0.01 {
+				t.Errorf("delivered %.0f B/s vs configured %d B/s (%.2f%% off, want <1%%; slept %d times)",
+					got, rate, rel*100, clock.sleeps)
+			}
+			if buf.Len() != total {
+				t.Errorf("wrote %d bytes, want %d", buf.Len(), total)
+			}
+		})
+	}
+}
+
+// TestRateLimitedWriterAwkwardRateTerminates guards the sleep
+// rounding: at rates where deficit/rate truncates below a whole
+// nanosecond, an exact timer repays slightly less than the debt and a
+// zero-length follow-up sleep would spin forever on a clock that only
+// advances by the requested amount.
+func TestRateLimitedWriterAwkwardRateTerminates(t *testing.T) {
+	var buf bytes.Buffer
+	const rate = 300001 // deficit/rate is not ns-exact
+	w := newRateLimitedWriter(&buf, rate)
+	clock := newFakeClock(1.0, 0) // exact timer: sleeps advance exactly as asked
+	clock.install(w)
+
+	// Long enough that the free initial burst (rate/8 bytes) is noise.
+	const total = 8 << 20
+	if _, err := w.Write(make([]byte, total)); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clock.now.Sub(time.Unix(0, 0)).Seconds()
+	got := float64(total) / elapsed
+	if rel := math.Abs(got-rate) / rate; rel > 0.01 {
+		t.Errorf("delivered %.0f B/s vs configured %d B/s (%.2f%% off)", got, rate, rel*100)
+	}
+}
+
+// TestRateLimitedWriterCreditsActualElapsed pins the mechanism: after
+// one oversleeping wait, the surplus tokens must survive into the next
+// write instead of being zeroed.
+func TestRateLimitedWriterCreditsActualElapsed(t *testing.T) {
+	var buf bytes.Buffer
+	w := newRateLimitedWriter(&buf, 64*1024) // burst = 8 KB
+	clock := newFakeClock(2.0, 0)            // sleeps take twice as long as asked
+	clock.install(w)
+
+	// First write drains the initial burst and sleeps; the doubled sleep
+	// banks surplus tokens (capped at one burst).
+	if _, err := w.Write(make([]byte, 16*1024)); err != nil {
+		t.Fatal(err)
+	}
+	if w.tokens <= 0 {
+		t.Errorf("tokens = %v after oversleep, want surplus > 0 (oversleep credit discarded)", w.tokens)
+	}
+	if w.tokens > w.burst {
+		t.Errorf("tokens = %v exceed burst %v", w.tokens, w.burst)
+	}
+
+	// The banked surplus pays for the next chunk without sleeping again.
+	sleepsBefore := clock.sleeps
+	if _, err := w.Write(make([]byte, 8*1024)); err != nil {
+		t.Fatal(err)
+	}
+	if clock.sleeps != sleepsBefore {
+		t.Errorf("writer slept despite banked oversleep credit")
+	}
+}
+
+func TestStatsEstimateBps(t *testing.T) {
+	tests := []struct {
+		name   string
+		stats  Stats
+		origin string
+		want   int64
+	}{
+		{
+			name:   "no estimates",
+			stats:  Stats{},
+			origin: "",
+			want:   0,
+		},
+		{
+			name:   "single origin, empty query",
+			stats:  Stats{EstimatesBps: map[string]int64{"http://a": 100}},
+			origin: "",
+			want:   100,
+		},
+		{
+			name:   "single origin, named query",
+			stats:  Stats{EstimatesBps: map[string]int64{"http://a": 100}},
+			origin: "http://a",
+			want:   100,
+		},
+		{
+			name:   "unknown named origin",
+			stats:  Stats{EstimatesBps: map[string]int64{"http://a": 100}},
+			origin: "http://b",
+			want:   0,
+		},
+		{
+			name: "many origins, empty query prefers default",
+			stats: Stats{
+				EstimatesBps:  map[string]int64{"http://a": 100, "http://b": 200, "http://c": 300},
+				DefaultOrigin: "http://b",
+			},
+			origin: "",
+			want:   200,
+		},
+		{
+			name: "many origins, no default estimate, sorted-key first",
+			stats: Stats{
+				EstimatesBps:  map[string]int64{"http://c": 300, "http://b": 200, "http://a": 100},
+				DefaultOrigin: "http://never-fetched",
+			},
+			origin: "",
+			want:   100,
+		},
+		{
+			name: "many origins, named query",
+			stats: Stats{
+				EstimatesBps:  map[string]int64{"http://a": 100, "http://b": 200},
+				DefaultOrigin: "http://a",
+			},
+			origin: "http://b",
+			want:   200,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.stats.EstimateBps(tt.origin); got != tt.want {
+				t.Errorf("EstimateBps(%q) = %d, want %d", tt.origin, got, tt.want)
+			}
+		})
+	}
+}
