@@ -1,6 +1,19 @@
 GO ?= go
+# bench-json pipes `go test` into benchjson; pipefail makes a failing
+# benchmark run fail the target instead of shipping a truncated file.
+SHELL := /bin/bash
 
-.PHONY: all ci vet build test race bench bench-smoke fuzz-smoke figures clean
+# Benchmarks measured by bench-json. Covers the sweep engine (memoized
+# workload arena vs the unmemoized A/B control), the run-level pool, and
+# the zero-allocation cache hot path.
+BENCH_PATTERN ?= BenchmarkSweepSequential|BenchmarkSweepParallel8|BenchmarkSweepUnmemoized|BenchmarkSimRunParallelism|BenchmarkCacheOpThroughput|BenchmarkAccess|BenchmarkWorkloadGeneration
+# Override with BENCHTIME=1x for a CI smoke run; the default gives
+# stable numbers locally.
+BENCHTIME ?= 2s
+BENCH_JSON ?= BENCH.json
+BENCH_BASELINE ?=
+
+.PHONY: all ci vet build test race bench bench-smoke bench-json fuzz-smoke figures clean
 
 all: ci
 
@@ -28,6 +41,18 @@ bench-smoke:
 ## bench: the full benchmark suite (regenerates every figure; slow).
 bench:
 	$(GO) test -run '^$$' -bench . .
+
+## bench-json: run the perf-trajectory benchmarks and emit $(BENCH_JSON).
+## CI runs `make bench-json BENCHTIME=1x` as a smoke and uploads the
+## file as an artifact; locally the default BENCHTIME gives stable
+## numbers. Set BENCH_BASELINE=BENCH_PR3.json to record speedups against
+## a committed trajectory file.
+bench-json:
+	set -o pipefail; \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCHTIME) . ./internal/core/ \
+		| $(GO) run ./cmd/benchjson -out $(BENCH_JSON) \
+			$(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE)) \
+			$(if $(BENCH_NOTE),-note '$(BENCH_NOTE)')
 
 ## fuzz-smoke: a short fuzz of the trace parser targets.
 fuzz-smoke:

@@ -1,0 +1,169 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable perf-trajectory JSON file, optionally computing
+// speedups against a baseline file produced by an earlier run. The
+// Makefile's bench-json target pipes the benchmark suite through it and
+// CI uploads the result as an artifact, so every PR leaves a comparable
+// record of sweep throughput and hot-path allocation counts.
+//
+//	go test -run '^$' -bench . -benchtime 1x . | benchjson -out BENCH.json
+//	benchjson -baseline BENCH_PR2.json -out BENCH_PR3.json < bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// BaselineNsPerOp and Speedup are filled when -baseline provides a
+	// matching benchmark: speedup = baseline_ns / ns.
+	BaselineNsPerOp *float64 `json:"baseline_ns_per_op,omitempty"`
+	Speedup         *float64 `json:"speedup,omitempty"`
+}
+
+// File is the schema of the emitted JSON.
+type File struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Note        string   `json:"note,omitempty"`
+	Benchmarks  []Result `json:"benchmarks"`
+}
+
+// benchLine matches one benchmark result row. The optional B/op and
+// allocs/op columns appear when the benchmark calls ReportAllocs (or
+// -benchmem is set).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out      = flag.String("out", "", "output file (default stdout)")
+		baseline = flag.String("baseline", "", "baseline JSON to compute per-benchmark speedups against")
+		note     = flag.String("note", "", "freeform note stored in the file (e.g. the PR or commit)")
+	)
+	flag.Parse()
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	if *baseline != "" {
+		if err := applyBaseline(results, *baseline); err != nil {
+			return err
+		}
+	}
+	f := File{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Note:        *note,
+		Benchmarks:  results,
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// parse extracts benchmark rows from `go test -bench` output, echoing
+// non-benchmark lines (figure tables, PASS/ok) to stderr so piping
+// through benchjson loses nothing.
+func parse(r io.Reader) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			if strings.TrimSpace(line) != "" {
+				fmt.Fprintln(os.Stderr, line)
+			}
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %w", line, err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
+		}
+		res := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			v, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad B/op in %q: %w", line, err)
+			}
+			res.BytesPerOp = &v
+		}
+		if m[5] != "" {
+			v, err := strconv.ParseFloat(m[5], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %w", line, err)
+			}
+			res.AllocsPerOp = &v
+		}
+		results = append(results, res)
+	}
+	return results, sc.Err()
+}
+
+// applyBaseline fills BaselineNsPerOp/Speedup from a previous file.
+func applyBaseline(results []Result, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base File
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	byName := make(map[string]Result, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+	for i := range results {
+		b, ok := byName[results[i].Name]
+		if !ok || results[i].NsPerOp == 0 {
+			continue
+		}
+		ns := b.NsPerOp
+		speedup := ns / results[i].NsPerOp
+		results[i].BaselineNsPerOp = &ns
+		results[i].Speedup = &speedup
+	}
+	return nil
+}

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -37,6 +39,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mediasim:", err)
 		os.Exit(1)
 	}
+}
+
+// profileTo starts CPU profiling and arranges a heap snapshot, returning
+// a stop function to defer. Empty paths disable the corresponding
+// profile.
+func profileTo(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mem profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "mem profile:", err)
+			}
+		}
+	}, nil
 }
 
 func run() error {
@@ -59,8 +97,16 @@ func run() error {
 		refine      = flag.Int("refine", -1, "extra adaptive sweep points (-1 = scale default)")
 		format      = flag.String("format", "csv", "sweep output format: csv or jsonl")
 		outPath     = flag.String("out", "", "sweep output file (default stdout)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profileTo(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
 	if *sweepAxis != "" {
 		// Refined sweeps fix the policy, network model and cache size per

@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
+	"sync"
 
 	"streamcache/internal/dist"
 	"streamcache/internal/units"
@@ -102,7 +104,7 @@ func FromSamples(samples []float64) (*Empirical, error) {
 	}
 	s := make([]float64, len(samples))
 	copy(s, samples)
-	sort.Float64s(s)
+	slices.Sort(s)
 	if s[0] < 0 {
 		return nil, fmt.Errorf("%w: negative bandwidth sample %v", ErrBadParam, s[0])
 	}
@@ -183,7 +185,16 @@ func (e *Empirical) Max() float64 { return e.pts[len(e.pts)-1].X }
 // the two facts stated in Section 3.1 - 37% of requests below 50 KB/s and
 // 56% below 100 KB/s - and spread the remaining mass over a tail reaching
 // 450 KB/s as in the published histogram.
-func NLANR() *Empirical {
+//
+// The returned value is a shared, immutable package singleton: Empirical
+// never mutates after construction, and a stable identity is what lets
+// sim's workload/path arena key per-path bandwidth assignments on the
+// model across sweep points.
+func NLANR() *Empirical { return nlanrSingleton() }
+
+var nlanrSingleton = sync.OnceValue(buildNLANR)
+
+func buildNLANR() *Empirical {
 	kb := func(v float64) float64 { return units.KBps(v) }
 	pts := []CDFPoint{
 		{X: kb(8), P: 0},

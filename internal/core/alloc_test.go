@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"streamcache/internal/units"
+)
+
+// The hot-path allocation contract (DESIGN.md): once the ID tables have
+// grown to cover the object population, Access performs zero heap
+// allocations on hits and at most the scratch-buffer growth on
+// evictions. These tests pin that contract so a future change cannot
+// silently reintroduce per-access garbage.
+
+func TestAccessHitPathAllocFree(t *testing.T) {
+	c, err := New(64*units.MB, NewPB(), WithExpectedObjects(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]Object, 64)
+	for i := range objs {
+		size := int64(i%16+1) * 64 * units.KB
+		objs[i] = Object{ID: i, Size: size, Duration: 60, Rate: float64(size) / 60, Value: 1}
+	}
+	// Warm: every object admitted, tables and heap at final size.
+	for i, o := range objs {
+		c.Access(o, o.Rate/2, float64(i))
+	}
+	now := float64(len(objs))
+	var i int
+	allocs := testing.AllocsPerRun(1000, func() {
+		o := objs[i%len(objs)]
+		c.Access(o, o.Rate/2, now)
+		now++
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state hit Access allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestAccessEvictionPathAllocFree(t *testing.T) {
+	// Capacity for ~4 of 64 objects: most accesses evict. After the
+	// victim scratch buffer has grown once, evicting accesses must not
+	// allocate either.
+	c, err := New(512*units.KB, NewLRU(), WithExpectedObjects(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]Object, 64)
+	for i := range objs {
+		objs[i] = Object{ID: i, Size: 128 * units.KB, Duration: 60, Rate: float64(128*units.KB) / 60, Value: 1}
+	}
+	for i, o := range objs {
+		c.Access(o, o.Rate/2, float64(i))
+	}
+	now := float64(len(objs))
+	var i int
+	allocs := testing.AllocsPerRun(1000, func() {
+		o := objs[(i*7)%len(objs)]
+		c.Access(o, o.Rate/2, now)
+		now++
+		i++
+	})
+	// Budget ≤ 2 allocs/op per the acceptance criteria; steady state
+	// should in fact be 0 (the scratch buffer never regrows).
+	if allocs > 2 {
+		t.Errorf("steady-state evicting Access allocates %.1f objects/op, want <= 2", allocs)
+	}
+}
+
+// BenchmarkAccess measures the raw Access cost on the two hot paths.
+func BenchmarkAccess(b *testing.B) {
+	const nObjects = 4096
+	newObjs := func() []Object {
+		objs := make([]Object, nObjects)
+		for i := range objs {
+			size := int64(i%64+1) * 64 * units.KB
+			objs[i] = Object{ID: i, Size: size, Duration: 60, Rate: float64(size) / 60, Value: 1}
+		}
+		return objs
+	}
+
+	b.Run("hit", func(b *testing.B) {
+		// Capacity for the whole population: every steady-state access
+		// is a hit that only refreshes the entry's heap position.
+		c, err := New(16*units.GB, NewPB(), WithExpectedObjects(nObjects))
+		if err != nil {
+			b.Fatal(err)
+		}
+		objs := newObjs()
+		for i, o := range objs {
+			c.Access(o, o.Rate/2, float64(i))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o := objs[i%nObjects]
+			c.Access(o, o.Rate/2, float64(nObjects+i))
+		}
+	})
+
+	b.Run("evict", func(b *testing.B) {
+		// Capacity for ~1% of the population: admissions continuously
+		// displace lower-utility prefixes through the heap.
+		c, err := New(64*units.MB, NewLRU(), WithExpectedObjects(nObjects))
+		if err != nil {
+			b.Fatal(err)
+		}
+		objs := newObjs()
+		for i, o := range objs {
+			c.Access(o, o.Rate/2, float64(i))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o := objs[(i*7919)%nObjects]
+			c.Access(o, o.Rate/2, float64(nObjects+i))
+		}
+	})
+}

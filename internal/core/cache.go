@@ -1,10 +1,11 @@
 package core
 
 import (
-	"container/heap"
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"math"
+	"slices"
 )
 
 // ErrBadCache reports an invalid cache construction.
@@ -26,17 +27,42 @@ func (o wholeObjectEvictionOption) apply(c *Cache) { c.wholeEviction = bool(o) }
 // in DESIGN.md section 6.
 func WithWholeObjectEviction(on bool) Option { return wholeObjectEvictionOption(on) }
 
+type expectedObjectsOption int
+
+func (o expectedObjectsOption) apply(c *Cache) {
+	if n := int(o); n > 0 {
+		c.ensure(n - 1)
+		c.heap = make([]int32, 0, n)
+	}
+}
+
+// WithExpectedObjects pre-sizes the cache's ID-indexed tables for n
+// objects (IDs 0..n-1), so the simulation hot path never pays a table
+// regrowth. Purely a capacity hint: the tables still grow on demand for
+// larger IDs.
+func WithExpectedObjects(n int) Option { return expectedObjectsOption(n) }
+
 // Cache is a partial-caching proxy cache: each object may occupy any
 // prefix of its full size, admission and eviction are driven by the
 // configured Policy's utility, and replacement uses a priority queue
 // (heap) keyed by utility as described in Section 2.4.
+//
+// Memory layout (DESIGN.md section on the hot path): object IDs index
+// dense slice-backed tables (entries and access stats), so the per-access
+// cost is two slice loads instead of two map lookups, and the eviction
+// heap stores plain int32 IDs ordered by a specialized comparison — no
+// boxed values, no interface dispatch. IDs must therefore be small,
+// non-negative and densely assigned (the workload generator's 0..N-1
+// scheme); table memory grows with the largest ID seen.
 type Cache struct {
 	capacity      int64
 	used          int64
 	policy        Policy
-	entries       map[int]*entry
-	h             entryHeap
-	stats         map[int]*AccessStats
+	evictObs      EvictionObserver // non-nil iff policy observes evictions
+	ents          []entry          // indexed by object ID; bytes > 0 ⇔ cached
+	stats         []AccessStats    // indexed by object ID
+	heap          []int32          // cached object IDs, min-heap on (utility, lastAccess)
+	victims       []Victim         // scratch reused across Access calls
 	wholeEviction bool
 }
 
@@ -51,13 +77,37 @@ func New(capacity int64, policy Policy, opts ...Option) (*Cache, error) {
 	c := &Cache{
 		capacity: capacity,
 		policy:   policy,
-		entries:  make(map[int]*entry),
-		stats:    make(map[int]*AccessStats),
+	}
+	if obs, ok := policy.(EvictionObserver); ok {
+		c.evictObs = obs
 	}
 	for _, o := range opts {
 		o.apply(c)
 	}
 	return c, nil
+}
+
+// ensure grows the ID-indexed tables to cover id. IDs outside [0, 2^31)
+// panic rather than corrupt the int32-indexed heap or silently exhaust
+// memory; frontends that accept external IDs (proxy.NewCatalog)
+// validate the range at construction time.
+func (c *Cache) ensure(id int) {
+	if id < 0 || int64(id) > math.MaxInt32 {
+		panic(fmt.Sprintf("core: object ID %d outside [0, 2^31); dense table layout requires small non-negative IDs", id))
+	}
+	if id < len(c.ents) {
+		return
+	}
+	n := id + 1
+	if n < 2*len(c.ents) {
+		n = 2 * len(c.ents)
+	}
+	ents := make([]entry, n)
+	copy(ents, c.ents)
+	c.ents = ents
+	stats := make([]AccessStats, n)
+	copy(stats, c.stats)
+	c.stats = stats
 }
 
 // Victim records bytes evicted from one object during an access.
@@ -80,6 +130,10 @@ type AccessResult struct {
 	EvictedBytes int64
 	// Victims lists which objects lost bytes (one entry per object);
 	// byte-store frontends use this to release the evicted data.
+	//
+	// The slice aliases a per-cache scratch buffer that the next Access
+	// call on the same Cache overwrites: consume it before the next
+	// access (as the proxy frontend does under its lock) or copy it.
 	Victims []Victim
 }
 
@@ -87,18 +141,20 @@ type AccessResult struct {
 // logical time now, updates the object's frequency and utility, and
 // grows or shrinks its cached prefix toward the policy target, evicting
 // strictly-lower-utility bytes if needed.
+//
+// The steady-state hot path (hits and byte-granular evictions) performs
+// no heap allocations; see the AllocsPerRun regression tests.
 func (c *Cache) Access(obj Object, bw float64, now float64) AccessResult {
-	st := c.stats[obj.ID]
-	if st == nil {
-		st = &AccessStats{}
-		c.stats[obj.ID] = st
-	}
+	id := obj.ID
+	c.ensure(id)
+	st := &c.stats[id]
 	st.Freq++
 	st.LastAccess = now
 
-	e := c.entries[obj.ID]
+	e := &c.ents[id]
+	cached := e.bytes > 0
 	res := AccessResult{}
-	if e != nil {
+	if cached {
 		res.HitBytes = e.bytes
 	}
 
@@ -113,75 +169,70 @@ func (c *Cache) Access(obj Object, bw float64, now float64) AccessResult {
 	utility := c.policy.Utility(*st, obj, bw)
 
 	// Refresh the existing entry's priority before any space decision.
-	if e != nil {
+	if cached {
 		e.utility = utility
 		e.lastAccess = now
-		heap.Fix(&c.h, e.heapIdx)
+		c.heapFix(e.heapIdx)
 	}
 
 	switch {
-	case e != nil && target < e.bytes:
+	case cached && target < e.bytes:
 		// Policy wants less than we hold (e.g. bandwidth improved):
 		// release the excess immediately.
-		c.shrink(e, e.bytes-target)
+		c.shrink(int32(id), e.bytes-target)
 	case target > 0:
-		need := target
-		if e != nil {
-			need = target - e.bytes
-		}
+		need := target - e.bytes // e.bytes == 0 when not cached
 		if need > 0 {
-			res.EvictedBytes, res.Victims = c.makeRoom(need, utility, obj.ID)
+			res.EvictedBytes, res.Victims = c.makeRoom(need, utility, id)
 			free := c.capacity - c.used
 			grant := need
 			if grant > free {
 				grant = free
 			}
 			if grant > 0 {
-				if e == nil {
-					e = &entry{obj: obj, utility: utility, lastAccess: now}
-					c.entries[obj.ID] = e
-					heap.Push(&c.h, e)
+				if e.bytes == 0 {
+					e.obj = obj
+					e.utility = utility
+					e.lastAccess = now
+					c.heapPush(id)
 				}
 				e.bytes += grant
 				c.used += grant
 			}
 		}
 	}
-	if cur := c.entries[obj.ID]; cur != nil {
-		res.CachedAfter = cur.bytes
-	}
+	res.CachedAfter = e.bytes
 	return res
 }
 
 // makeRoom evicts bytes from strictly-lower-utility entries until need
 // bytes are free or no eligible victim remains. The requesting object
 // (selfID) is never victimized. It returns the total bytes evicted and
-// the per-object breakdown.
+// the per-object breakdown (backed by the reusable scratch buffer).
 func (c *Cache) makeRoom(need int64, utility float64, selfID int) (int64, []Victim) {
-	var (
-		evicted int64
-		victims []Victim
-	)
-	for c.capacity-c.used < need && c.h.Len() > 0 {
-		victim := c.h[0]
-		if victim.obj.ID == selfID || victim.utility >= utility {
+	c.victims = c.victims[:0]
+	var evicted int64
+	for c.capacity-c.used < need && len(c.heap) > 0 {
+		vid := c.heap[0]
+		v := &c.ents[vid]
+		if int(vid) == selfID || v.utility >= utility {
 			break // nothing strictly cheaper than the requester remains
 		}
-		take := victim.bytes
+		take := v.bytes
 		if !c.wholeEviction {
 			shortfall := need - (c.capacity - c.used)
 			if take > shortfall {
 				take = shortfall
 			}
 		}
-		victims = append(victims, Victim{ID: victim.obj.ID, Bytes: take})
-		if obs, ok := c.policy.(EvictionObserver); ok {
-			obs.OnEvict(victim.utility)
+		c.victims = append(c.victims, Victim{ID: int(vid), Bytes: take})
+		if c.evictObs != nil {
+			c.evictObs.OnEvict(v.utility)
 		}
-		c.shrink(victim, take)
+		c.shrink(vid, take)
 		evicted += take
 	}
-	return evicted, victims
+	return evicted, c.victims
 }
 
 // Truncate shrinks object id's cached prefix to at most bytes, releasing
@@ -189,21 +240,21 @@ func (c *Cache) makeRoom(need int64, utility float64, selfID int) (int64, []Vict
 // materialize bytes the cache has already accounted for (e.g. an origin
 // fetch aborts mid-relay).
 func (c *Cache) Truncate(id int, bytes int64) {
-	e := c.entries[id]
-	if e == nil {
+	if id < 0 || id >= len(c.ents) || c.ents[id].bytes == 0 {
 		return
 	}
 	if bytes < 0 {
 		bytes = 0
 	}
-	if e.bytes > bytes {
-		c.shrink(e, e.bytes-bytes)
+	if e := &c.ents[id]; e.bytes > bytes {
+		c.shrink(int32(id), e.bytes-bytes)
 	}
 }
 
-// shrink releases take bytes from e, removing the entry entirely when its
-// prefix reaches zero.
-func (c *Cache) shrink(e *entry, take int64) {
+// shrink releases take bytes from the entry of object id, removing it
+// from the heap when its prefix reaches zero.
+func (c *Cache) shrink(id int32, take int64) {
+	e := &c.ents[id]
 	if take <= 0 {
 		return
 	}
@@ -213,25 +264,24 @@ func (c *Cache) shrink(e *entry, take int64) {
 	e.bytes -= take
 	c.used -= take
 	if e.bytes == 0 {
-		heap.Remove(&c.h, e.heapIdx)
-		delete(c.entries, e.obj.ID)
+		c.heapRemove(e.heapIdx)
 	}
 }
 
 // CachedBytes returns the cached prefix size of object id (0 if absent).
 func (c *Cache) CachedBytes(id int) int64 {
-	if e := c.entries[id]; e != nil {
-		return e.bytes
+	if id < 0 || id >= len(c.ents) {
+		return 0
 	}
-	return 0
+	return c.ents[id].bytes
 }
 
 // Stats returns a copy of the access statistics recorded for object id.
 func (c *Cache) Stats(id int) AccessStats {
-	if st := c.stats[id]; st != nil {
-		return *st
+	if id < 0 || id >= len(c.stats) {
+		return AccessStats{}
 	}
-	return AccessStats{}
+	return c.stats[id]
 }
 
 // Used returns the total cached bytes.
@@ -241,7 +291,7 @@ func (c *Cache) Used() int64 { return c.used }
 func (c *Cache) Capacity() int64 { return c.capacity }
 
 // Len returns the number of (partially) cached objects.
-func (c *Cache) Len() int { return len(c.entries) }
+func (c *Cache) Len() int { return len(c.heap) }
 
 // Policy returns the configured replacement policy.
 func (c *Cache) Policy() Policy { return c.policy }
@@ -256,15 +306,19 @@ type Placement struct {
 // Contents returns a snapshot of all cached objects ordered by
 // descending utility (hottest first).
 func (c *Cache) Contents() []Placement {
-	out := make([]Placement, 0, len(c.entries))
-	for _, e := range c.entries {
+	out := make([]Placement, 0, len(c.heap))
+	for _, id := range c.heap {
+		e := &c.ents[id]
 		out = append(out, Placement{Object: e.obj, Bytes: e.bytes, Utility: e.utility})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Utility != out[j].Utility {
-			return out[i].Utility > out[j].Utility
+	slices.SortFunc(out, func(a, b Placement) int {
+		if a.Utility != b.Utility {
+			if a.Utility > b.Utility {
+				return -1
+			}
+			return 1
 		}
-		return out[i].Object.ID < out[j].Object.ID
+		return cmp.Compare(a.Object.ID, b.Object.ID)
 	})
 	return out
 }
@@ -275,24 +329,38 @@ func (c *Cache) checkInvariants() error {
 	if c.used < 0 || c.used > c.capacity {
 		return fmt.Errorf("core: used %d outside [0, %d]", c.used, c.capacity)
 	}
+	if len(c.ents) != len(c.stats) {
+		return fmt.Errorf("core: entry table %d != stats table %d", len(c.ents), len(c.stats))
+	}
 	var sum int64
-	for id, e := range c.entries {
-		if e.obj.ID != id {
-			return fmt.Errorf("core: entry key %d holds object %d", id, e.obj.ID)
+	var live int
+	for id := range c.ents {
+		e := &c.ents[id]
+		if e.bytes == 0 {
+			continue
 		}
-		if e.bytes <= 0 || e.bytes > e.obj.Size {
+		live++
+		if e.obj.ID != id {
+			return fmt.Errorf("core: entry slot %d holds object %d", id, e.obj.ID)
+		}
+		if e.bytes < 0 || e.bytes > e.obj.Size {
 			return fmt.Errorf("core: object %d cached bytes %d outside (0, %d]", id, e.bytes, e.obj.Size)
 		}
 		sum += e.bytes
-		if e.heapIdx < 0 || e.heapIdx >= c.h.Len() || c.h[e.heapIdx] != e {
+		if e.heapIdx < 0 || int(e.heapIdx) >= len(c.heap) || c.heap[e.heapIdx] != int32(id) {
 			return fmt.Errorf("core: object %d heap index %d inconsistent", id, e.heapIdx)
 		}
 	}
 	if sum != c.used {
 		return fmt.Errorf("core: used %d != sum of entries %d", c.used, sum)
 	}
-	if c.h.Len() != len(c.entries) {
-		return fmt.Errorf("core: heap len %d != entries %d", c.h.Len(), len(c.entries))
+	if len(c.heap) != live {
+		return fmt.Errorf("core: heap len %d != cached entries %d", len(c.heap), live)
+	}
+	for i := 1; i < len(c.heap); i++ {
+		if parent := (i - 1) / 2; c.entryLess(c.heap[i], c.heap[parent]) {
+			return fmt.Errorf("core: heap order violated at index %d", i)
+		}
 	}
 	return nil
 }

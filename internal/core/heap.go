@@ -1,49 +1,99 @@
 package core
 
-// entry is the cache's bookkeeping for one (partially) cached object.
+// entry is the cache's bookkeeping for one (partially) cached object,
+// stored by value in the ID-indexed table (Cache.ents). bytes > 0 marks
+// a cached object; the zero value is "never cached".
 type entry struct {
 	obj        Object
-	bytes      int64   // cached prefix size
+	bytes      int64   // cached prefix size; 0 = not cached
 	utility    float64 // current priority key
 	lastAccess float64 // tiebreaker: older entries evicted first
-	heapIdx    int
+	heapIdx    int32   // position in Cache.heap while cached
 }
 
-// entryHeap is a min-heap on (utility, lastAccess) implementing
-// container/heap.Interface; the cheapest-to-evict entry sits at the root.
-// Heap maintenance is O(log n) per access, matching the cost stated in
-// Section 2.4.
-type entryHeap []*entry
+// The eviction queue is a specialized min-heap of object IDs ordered by
+// (utility, lastAccess): the cheapest-to-evict entry sits at the root,
+// and maintenance is O(log n) per access, matching the cost stated in
+// Section 2.4. Compared with container/heap this stores concrete int32
+// IDs — no `any` boxing, no interface dispatch, no allocation per
+// push/pop — and compares through the dense entry table.
 
-func (h entryHeap) Len() int { return len(h) }
-
-func (h entryHeap) Less(i, j int) bool {
-	if h[i].utility != h[j].utility {
-		return h[i].utility < h[j].utility
+// entryLess reports whether entry a evicts before entry b.
+func (c *Cache) entryLess(a, b int32) bool {
+	ea, eb := &c.ents[a], &c.ents[b]
+	if ea.utility != eb.utility {
+		return ea.utility < eb.utility
 	}
-	return h[i].lastAccess < h[j].lastAccess
+	return ea.lastAccess < eb.lastAccess
 }
 
-func (h entryHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].heapIdx = i
-	h[j].heapIdx = j
+// heapSwap exchanges heap slots i and j, maintaining back-pointers.
+func (c *Cache) heapSwap(i, j int32) {
+	c.heap[i], c.heap[j] = c.heap[j], c.heap[i]
+	c.ents[c.heap[i]].heapIdx = i
+	c.ents[c.heap[j]].heapIdx = j
 }
 
-// Push appends x; used only through container/heap.
-func (h *entryHeap) Push(x any) {
-	e := x.(*entry)
-	e.heapIdx = len(*h)
-	*h = append(*h, e)
+// heapUp sifts the entry at heap index i toward the root.
+func (c *Cache) heapUp(i int32) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.entryLess(c.heap[i], c.heap[parent]) {
+			break
+		}
+		c.heapSwap(i, parent)
+		i = parent
+	}
 }
 
-// Pop removes the last element; used only through container/heap.
-func (h *entryHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.heapIdx = -1
-	*h = old[:n-1]
-	return e
+// heapDown sifts the entry at heap index i toward the leaves, returning
+// whether it moved.
+func (c *Cache) heapDown(i int32) bool {
+	start := i
+	n := int32(len(c.heap))
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && c.entryLess(c.heap[right], c.heap[left]) {
+			least = right
+		}
+		if !c.entryLess(c.heap[least], c.heap[i]) {
+			break
+		}
+		c.heapSwap(i, least)
+		i = least
+	}
+	return i > start
+}
+
+// heapPush appends object id to the heap and restores order.
+func (c *Cache) heapPush(id int) {
+	i := int32(len(c.heap))
+	c.ents[id].heapIdx = i
+	c.heap = append(c.heap, int32(id))
+	c.heapUp(i)
+}
+
+// heapFix restores order after the entry at heap index i changed keys.
+func (c *Cache) heapFix(i int32) {
+	if !c.heapDown(i) {
+		c.heapUp(i)
+	}
+}
+
+// heapRemove deletes the entry at heap index i.
+func (c *Cache) heapRemove(i int32) {
+	n := int32(len(c.heap)) - 1
+	id := c.heap[i]
+	if i != n {
+		c.heapSwap(i, n)
+	}
+	c.heap = c.heap[:n]
+	c.ents[id].heapIdx = -1
+	if i != n {
+		c.heapFix(i)
+	}
 }

@@ -17,7 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // ErrBadParam reports an invalid distribution parameter.
@@ -118,7 +118,8 @@ func (z *Zipf) P(r int) float64 {
 // precomputed CDF (O(log N)).
 func (z *Zipf) Sample(rng *rand.Rand) int {
 	u := rng.Float64()
-	return sort.SearchFloat64s(z.cdf, u) + 1
+	i, _ := slices.BinarySearch(z.cdf, u)
+	return i + 1
 }
 
 // PoissonProcess generates the arrival times of a homogeneous Poisson

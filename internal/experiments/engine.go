@@ -41,14 +41,27 @@ func (s Scale) parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// newArena builds the experiment-wide memoization arena (nil when the
+// scale opts out of reuse).
+func (s Scale) newArena() *sim.Arena {
+	if s.NoWorkloadReuse {
+		return nil
+	}
+	return sim.NewArena()
+}
+
 // simRow builds the common sweep-point task: run one simulation,
 // render its metrics as a row. The inner run-level Parallelism is
 // pinned to 1 because the sweep pool already saturates the cores (and
 // Metrics are identical for any value, so this is purely a scheduling
-// choice).
-func simRow(cfg sim.Config, render func(sim.Metrics) []string) rowTask {
+// choice). The arena is shared by every task of one experiment, so
+// sweep points reuse identical workloads and path assignments instead
+// of regenerating them (nil disables reuse; rows are byte-identical
+// either way).
+func simRow(arena *sim.Arena, cfg sim.Config, render func(sim.Metrics) []string) rowTask {
 	return func() ([]string, error) {
 		cfg.Parallelism = 1
+		cfg.Arena = arena
 		m, err := sim.Run(cfg)
 		if err != nil {
 			return nil, err

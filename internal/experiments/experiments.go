@@ -56,6 +56,11 @@ type Scale struct {
 	// their coarse grid, bisecting the intervals with the steepest
 	// metric gradient. 0 disables refinement.
 	RefineBudget int
+	// NoWorkloadReuse disables the sweep-wide workload/path arena, so
+	// every sweep point regenerates its inputs from scratch. Rows are
+	// byte-identical either way (regression-tested); the knob exists
+	// for A/B validation and memory-constrained paper-scale runs.
+	NoWorkloadReuse bool
 }
 
 // SmallScale returns the fast configuration (~1/10 of the paper).
@@ -142,11 +147,12 @@ func policySweep(s Scale, meta TableMeta, policies []core.Policy, variation band
 	if err != nil {
 		return nil, err
 	}
+	arena := s.newArena()
 	sw := &taskSweep{meta: meta}
 	sw.meta.Header = []string{"cache_pct", "policy", "traffic_reduction", "avg_delay_s", "avg_quality", "total_value", "hit_ratio"}
 	for _, frac := range s.CacheFractions {
 		for _, p := range policies {
-			sw.tasks = append(sw.tasks, simRow(sim.Config{
+			sw.tasks = append(sw.tasks, simRow(arena, sim.Config{
 				Workload:   s.workload(),
 				CacheBytes: int64(frac * float64(total)),
 				Policy:     p,
@@ -356,10 +362,11 @@ func figure6Runner(s Scale) (runner, error) {
 		Note:   "expect: all metrics improve with alpha; orderings preserved",
 		Header: []string{"alpha", "cache_pct", "policy", "traffic_reduction", "avg_delay_s", "avg_quality"},
 	}}
+	arena := s.newArena()
 	for _, alpha := range s.AlphaSweep {
 		for _, frac := range s.CacheFractions {
 			for _, p := range []core.Policy{core.NewIB(), core.NewPB()} {
-				sw.tasks = append(sw.tasks, simRow(sim.Config{
+				sw.tasks = append(sw.tasks, simRow(arena, sim.Config{
 					Workload: workload.Config{
 						NumObjects:  s.Objects,
 						NumRequests: s.Requests,
@@ -418,13 +425,14 @@ func figure9Runner(s Scale) (runner, error) {
 		Note:   "expect: traffic reduction decreases in e; delay minimized at moderate e",
 		Header: []string{"e", "cache_pct", "traffic_reduction", "avg_delay_s", "avg_quality"},
 	}}
+	arena := s.newArena()
 	for _, e := range s.ESweep {
 		p, err := core.NewHybrid(e)
 		if err != nil {
 			return nil, err
 		}
 		for _, frac := range s.CacheFractions {
-			sw.tasks = append(sw.tasks, simRow(sim.Config{
+			sw.tasks = append(sw.tasks, simRow(arena, sim.Config{
 				Workload:   s.workload(),
 				CacheBytes: int64(frac * float64(total)),
 				Policy:     p,
@@ -480,13 +488,14 @@ func figure12Runner(s Scale) (runner, error) {
 		Note:   "expect: total value maximized at a moderate e",
 		Header: []string{"e", "cache_pct", "traffic_reduction", "total_value"},
 	}}
+	arena := s.newArena()
 	for _, e := range s.ESweep {
 		p, err := core.NewHybridV(e)
 		if err != nil {
 			return nil, err
 		}
 		for _, frac := range s.CacheFractions {
-			sw.tasks = append(sw.tasks, simRow(sim.Config{
+			sw.tasks = append(sw.tasks, simRow(arena, sim.Config{
 				Workload:   s.workload(),
 				CacheBytes: int64(frac * float64(total)),
 				Policy:     p,
@@ -520,12 +529,13 @@ func ablationEvictionRunner(s Scale) (runner, error) {
 		Name:   "Ablation: byte-granular vs whole-object eviction (PB policy, constant bandwidth)",
 		Header: []string{"cache_pct", "eviction", "traffic_reduction", "avg_delay_s", "avg_quality"},
 	}}
+	arena := s.newArena()
 	for _, frac := range s.CacheFractions {
 		for _, mode := range []struct {
 			label string
 			whole bool
 		}{{"partial", false}, {"whole", true}} {
-			sw.tasks = append(sw.tasks, simRow(sim.Config{
+			sw.tasks = append(sw.tasks, simRow(arena, sim.Config{
 				Workload:     s.workload(),
 				CacheBytes:   int64(frac * float64(total)),
 				Policy:       core.NewPB(),
@@ -567,9 +577,10 @@ func ablationEstimatorsRunner(s Scale) (runner, error) {
 		{"ewma_0.3", sim.EWMAEstimator(0.3)},
 		{"underestimate_0.5", sim.UnderestimatingOracle(0.5)},
 	}
+	arena := s.newArena()
 	for _, frac := range s.CacheFractions {
 		for _, est := range estimators {
-			sw.tasks = append(sw.tasks, simRow(sim.Config{
+			sw.tasks = append(sw.tasks, simRow(arena, sim.Config{
 				Workload:   s.workload(),
 				CacheBytes: int64(frac * float64(total)),
 				Policy:     core.NewPB(),

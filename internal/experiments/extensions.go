@@ -129,7 +129,9 @@ func extensionStreamMergingRunner(s Scale) (runner, error) {
 // ExtensionPartialViewing measures how GISMO-style partial-viewing
 // sessions (clients stopping early) change the traffic economics of
 // prefix caching.
-func ExtensionPartialViewing(s Scale) (*Table, error) { return tableOf(s, extensionPartialViewingRunner) }
+func ExtensionPartialViewing(s Scale) (*Table, error) {
+	return tableOf(s, extensionPartialViewingRunner)
+}
 
 func extensionPartialViewingRunner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
@@ -144,9 +146,10 @@ func extensionPartialViewingRunner(s Scale) (runner, error) {
 		Note:   "prefix caching gains relative effectiveness when sessions only watch the head of the stream",
 		Header: []string{"partial_view_prob", "policy", "traffic_reduction", "avg_delay_s", "hit_ratio"},
 	}}
+	arena := s.newArena()
 	for _, prob := range []float64{0, 0.3, 0.7} {
 		for _, p := range []core.Policy{core.NewIF(), core.NewPB()} {
-			sw.tasks = append(sw.tasks, simRow(sim.Config{
+			sw.tasks = append(sw.tasks, simRow(arena, sim.Config{
 				Workload: workload.Config{
 					NumObjects:      s.Objects,
 					NumRequests:     s.Requests,
@@ -198,8 +201,9 @@ func extensionBaselinesRunner(s Scale) (runner, error) {
 		{"IB", core.NewIB},
 		{"PB", core.NewPB},
 	}
+	arena := s.newArena()
 	for _, f := range factories {
-		sw.tasks = append(sw.tasks, simRow(sim.Config{
+		sw.tasks = append(sw.tasks, simRow(arena, sim.Config{
 			Workload:      s.workload(),
 			CacheBytes:    int64(0.05 * float64(total)),
 			PolicyFactory: f.make,
@@ -243,8 +247,9 @@ func extensionActiveProbingRunner(s Scale) (runner, error) {
 		{"active_probe_jitter_0.20", sim.ActiveProbeEstimator(0.20)},
 		{"active_probe_jitter_0.40", sim.ActiveProbeEstimator(0.40)},
 	}
+	arena := s.newArena()
 	for _, est := range estimators {
-		sw.tasks = append(sw.tasks, simRow(sim.Config{
+		sw.tasks = append(sw.tasks, simRow(arena, sim.Config{
 			Workload:   s.workload(),
 			CacheBytes: int64(0.05 * float64(total)),
 			Policy:     core.NewPB(),

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// streamCSV renders one experiment to CSV bytes at the given scale.
+func streamCSV(t *testing.T, key string, s Scale) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Stream(key, s, NewCSVSink(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMemoizedSweepByteIdentical is the workload-arena acceptance
+// contract: a sweep that reuses memoized workloads and path assignments
+// must stream byte-identical output to one that regenerates everything
+// per point, at every Parallelism.
+func TestMemoizedSweepByteIdentical(t *testing.T) {
+	// Cover a fixed grid with variability (figure9), the estimator x
+	// sigma x policy matrix (stateful EWMA estimators), and an adaptive
+	// refinement driver (refined-e).
+	for _, key := range []string{"figure9", "scenarios", "refined-e"} {
+		t.Run(key, func(t *testing.T) {
+			s := tinyScale()
+			s.RefineBudget = 2
+			s.NoWorkloadReuse = true
+			fresh := streamCSV(t, key, s)
+
+			for _, par := range []int{1, 2, 8} {
+				m := tinyScale()
+				m.RefineBudget = 2
+				m.Parallelism = par
+				got := streamCSV(t, key, m)
+				if !bytes.Equal(got, fresh) {
+					t.Errorf("memoized sweep (Parallelism=%d) diverged from fresh sweep:\n%s\nwant:\n%s",
+						par, got, fresh)
+				}
+			}
+		})
+	}
+}

@@ -1,7 +1,8 @@
 package experiments
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"streamcache/internal/bandwidth"
 	"streamcache/internal/core"
@@ -134,11 +135,11 @@ func (a *adaptiveSweep) run(parallelism int, emit func(row []string) error) erro
 				candidates = append(candidates, interval{left: i, grad: g})
 			}
 		}
-		sort.SliceStable(candidates, func(i, j int) bool {
-			if candidates[i].grad != candidates[j].grad {
-				return candidates[i].grad > candidates[j].grad
+		slices.SortStableFunc(candidates, func(a, b interval) int {
+			if a.grad != b.grad {
+				return cmp.Compare(b.grad, a.grad)
 			}
-			return xs[candidates[i].left] < xs[candidates[j].left]
+			return cmp.Compare(xs[a.left], xs[b.left])
 		})
 		k := refineRoundPoints
 		if k > remaining {
@@ -159,7 +160,7 @@ func (a *adaptiveSweep) run(parallelism int, emit func(row []string) error) erro
 			return err
 		}
 		points = append(points, refined...)
-		sort.Slice(points, func(i, j int) bool { return points[i].x < points[j].x })
+		slices.SortFunc(points, func(a, b axisPoint) int { return cmp.Compare(a.x, b.x) })
 		remaining -= k
 	}
 	return nil
@@ -191,6 +192,7 @@ func refinedESweepRunner(s Scale) (runner, error) {
 		return nil, err
 	}
 	frac := s.midFraction()
+	arena := s.newArena()
 	return refinedSimSweep(s, TableMeta{
 		Name:   "Refined sweep: underestimation factor e, adaptive (delay objective)",
 		Note:   "coarse ESweep pass, then gradient-guided bisection of avg_delay_s; mid-size cache, NLANR variability",
@@ -208,6 +210,7 @@ func refinedESweepRunner(s Scale) (runner, error) {
 			Runs:        s.Runs,
 			Seed:        s.Seed,
 			Parallelism: innerPar,
+			Arena:       arena,
 		})
 		if err != nil {
 			return nil, 0, err
@@ -233,6 +236,7 @@ func refinedSigmaSweepRunner(s Scale) (runner, error) {
 		return nil, err
 	}
 	frac := s.midFraction()
+	arena := s.newArena()
 	return refinedSimSweep(s, TableMeta{
 		Name:   "Refined sweep: bandwidth-variability sigma, adaptive (PB policy)",
 		Note:   "coarse SigmaSweep pass, then gradient-guided bisection of avg_delay_s; mid-size cache",
@@ -250,6 +254,7 @@ func refinedSigmaSweepRunner(s Scale) (runner, error) {
 			Runs:        s.Runs,
 			Seed:        s.Seed,
 			Parallelism: innerPar,
+			Arena:       arena,
 		})
 		if err != nil {
 			return nil, 0, err
@@ -274,6 +279,7 @@ func refinedCacheSweepRunner(s Scale) (runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	arena := s.newArena()
 	return refinedSimSweep(s, TableMeta{
 		Name:   "Refined sweep: cache fraction, adaptive (PB policy, constant bandwidth)",
 		Note:   "coarse CacheFractions pass, then gradient-guided bisection of traffic_reduction",
@@ -286,6 +292,7 @@ func refinedCacheSweepRunner(s Scale) (runner, error) {
 			Runs:        s.Runs,
 			Seed:        s.Seed,
 			Parallelism: innerPar,
+			Arena:       arena,
 		})
 		if err != nil {
 			return nil, 0, err

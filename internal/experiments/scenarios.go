@@ -59,6 +59,7 @@ func scenarioMatrixRunner(s Scale) (runner, error) {
 			"traffic_reduction", "avg_delay_s", "avg_quality", "total_value", "hit_ratio",
 		},
 	}}
+	arena := s.newArena()
 	for _, sigma := range s.sigmas() {
 		variation, err := bandwidth.NewLognormalRatio(sigma)
 		if err != nil {
@@ -66,7 +67,7 @@ func scenarioMatrixRunner(s Scale) (runner, error) {
 		}
 		for _, est := range estimators {
 			for _, p := range policies {
-				sw.tasks = append(sw.tasks, simRow(sim.Config{
+				sw.tasks = append(sw.tasks, simRow(arena, sim.Config{
 					Workload:   s.workload(),
 					CacheBytes: int64(frac * float64(total)),
 					Policy:     p,

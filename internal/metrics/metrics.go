@@ -19,7 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 )
 
@@ -247,7 +247,7 @@ func Quantile(samples []float64, q float64) (float64, error) {
 	}
 	sorted := make([]float64, len(samples))
 	copy(sorted, samples)
-	sort.Float64s(sorted)
+	slices.Sort(sorted)
 	if len(sorted) == 1 {
 		return sorted[0], nil
 	}
@@ -300,13 +300,13 @@ func NewECDF(samples []float64) (*ECDF, error) {
 	}
 	s := make([]float64, len(samples))
 	copy(s, samples)
-	sort.Float64s(s)
+	slices.Sort(s)
 	return &ECDF{sorted: s}, nil
 }
 
 // At returns P[X <= x].
 func (e *ECDF) At(x float64) float64 {
-	i := sort.SearchFloat64s(e.sorted, x)
+	i, _ := slices.BinarySearch(e.sorted, x)
 	// Move past ties so that At is right-continuous.
 	for i < len(e.sorted) && e.sorted[i] == x {
 		i++

@@ -12,6 +12,7 @@ package proxy
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 )
@@ -43,6 +44,12 @@ type Catalog struct {
 func NewCatalog(objects []Meta) (*Catalog, error) {
 	m := make(map[int]Meta, len(objects))
 	for _, o := range objects {
+		// The cache's dense ID-indexed tables require small non-negative
+		// IDs (memory grows with the largest ID); reject violations here,
+		// before a live request can reach core.Cache.Access.
+		if o.ID < 0 || int64(o.ID) > math.MaxInt32 {
+			return nil, fmt.Errorf("%w: object ID %d outside [0, 2^31)", ErrBadCatalog, o.ID)
+		}
 		if o.Size <= 0 {
 			return nil, fmt.Errorf("%w: object %d size %d", ErrBadCatalog, o.ID, o.Size)
 		}

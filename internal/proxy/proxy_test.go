@@ -36,6 +36,14 @@ func TestNewCatalogValidation(t *testing.T) {
 	if _, err := NewCatalog([]Meta{{ID: 1, Size: 1, Rate: 1}, {ID: 1, Size: 2, Rate: 1}}); err == nil {
 		t.Error("duplicate ID accepted")
 	}
+	// The cache's dense ID tables require small non-negative IDs; a bad
+	// ID must fail at catalog construction, not panic on first request.
+	if _, err := NewCatalog([]Meta{{ID: -1, Size: 1, Rate: 1}}); err == nil {
+		t.Error("negative ID accepted")
+	}
+	if _, err := NewCatalog([]Meta{{ID: 1 << 31, Size: 1, Rate: 1}}); err == nil {
+		t.Error("ID above 2^31 accepted")
+	}
 }
 
 func TestCatalogDerivesDuration(t *testing.T) {

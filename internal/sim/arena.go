@@ -1,0 +1,150 @@
+// Workload/path arena: sweep-wide memoization of the immutable inputs
+// every run re-derives from its seed.
+//
+// A sweep (cache size x policy x scenario axis) re-runs the same
+// (workload.Config, seed) pairs at every sweep point: without reuse,
+// workload.Generate dominates small-scale sweep time. The arena caches
+// the generated workload, its core.Object conversion, and the per-path
+// mean-bandwidth assignment, keyed strictly by the inputs that determine
+// them — so a memoized run is bit-identical to a fresh one, and a sweep
+// that shares one arena across all points (and refinement iterations)
+// generates each distinct (config, seed) exactly once.
+//
+// Sharing contract (DESIGN.md): everything the arena hands out is
+// immutable and shared across goroutines. Callers (and policies they
+// configure) must not mutate the returned Workload, []core.Object or
+// []float64, and must not retain them past the arena's lifetime if they
+// need them to be collectable.
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+
+	"streamcache/internal/bandwidth"
+	"streamcache/internal/core"
+	"streamcache/internal/workload"
+)
+
+// Arena memoizes workloads and path-mean assignments across the runs and
+// sweep points of one experiment. The zero value is not usable; call
+// NewArena. All methods are safe for concurrent use, and every value is
+// a pure function of its key, so results never depend on which goroutine
+// populated an entry first.
+type Arena struct {
+	mu    sync.Mutex
+	wls   map[workload.Config]*workloadEntry
+	paths map[pathKey]*pathEntry
+}
+
+// NewArena builds an empty arena. Use one arena per experiment (or per
+// sweep) and drop it afterwards to release the cached workloads.
+func NewArena() *Arena {
+	return &Arena{
+		wls:   make(map[workload.Config]*workloadEntry),
+		paths: make(map[pathKey]*pathEntry),
+	}
+}
+
+type workloadEntry struct {
+	once sync.Once
+	wl   *workload.Workload
+	objs []core.Object
+	err  error
+}
+
+// pathKey identifies one per-path mean-bandwidth assignment. The model
+// is part of the key by interface identity: models used across sweep
+// points must therefore be shared values (bandwidth.NLANR returns a
+// package singleton for exactly this reason).
+type pathKey struct {
+	base bandwidth.Model
+	seed int64
+	n    int
+}
+
+type pathEntry struct {
+	once  sync.Once
+	means []float64
+}
+
+// coreObjects converts a generated catalog to the cache's object type.
+func coreObjects(wl *workload.Workload) []core.Object {
+	objs := make([]core.Object, len(wl.Objects))
+	for i, o := range wl.Objects {
+		objs[i] = core.Object{
+			ID:       o.ID,
+			Size:     o.Size,
+			Duration: o.Duration,
+			Rate:     o.Rate,
+			Value:    o.Value,
+		}
+	}
+	return objs
+}
+
+// samplePathMeans draws one mean bandwidth per object path, exactly as
+// an unmemoized run does.
+func samplePathMeans(base bandwidth.Model, seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, n)
+	for i := range means {
+		means[i] = base.Sample(rng)
+	}
+	return means
+}
+
+// Workload returns the (possibly cached) workload for cfg plus its
+// core.Object conversion. cfg is normalized before keying, so two
+// configurations that normalize identically share one generation. A nil
+// arena generates fresh.
+func (a *Arena) Workload(cfg workload.Config) (*workload.Workload, []core.Object, error) {
+	if a == nil {
+		wl, err := workload.Generate(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return wl, coreObjects(wl), nil
+	}
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	a.mu.Lock()
+	e := a.wls[cfg]
+	if e == nil {
+		e = &workloadEntry{}
+		a.wls[cfg] = e
+	}
+	a.mu.Unlock()
+	e.once.Do(func() {
+		e.wl, e.err = workload.Generate(cfg)
+		if e.err == nil {
+			e.objs = coreObjects(e.wl)
+		}
+	})
+	return e.wl, e.objs, e.err
+}
+
+// PathMeans returns the (possibly cached) per-path mean bandwidths drawn
+// from base with the given RNG seed for n paths. Memoization requires a
+// comparable model value; non-comparable models (and nil arenas) sample
+// fresh, with identical results either way.
+func (a *Arena) PathMeans(base bandwidth.Model, seed int64, n int) []float64 {
+	if a == nil || !reflect.TypeOf(base).Comparable() {
+		return samplePathMeans(base, seed, n)
+	}
+	key := pathKey{base: base, seed: seed, n: n}
+	a.mu.Lock()
+	e := a.paths[key]
+	if e == nil {
+		e = &pathEntry{}
+		a.paths[key] = e
+	}
+	a.mu.Unlock()
+	e.once.Do(func() {
+		e.means = samplePathMeans(base, seed, n)
+	})
+	return e.means
+}

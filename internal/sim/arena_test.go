@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+
+	"streamcache/internal/bandwidth"
+	"streamcache/internal/core"
+)
+
+// TestArenaMetricsBitIdentical is the memoization contract: a shared
+// arena must not change Metrics by a single bit relative to fresh
+// generation, at any worker count.
+func TestArenaMetricsBitIdentical(t *testing.T) {
+	base := Config{
+		Workload:   testWorkload(),
+		CacheBytes: cachePct(5),
+		Policy:     core.NewPB(),
+		Variation:  bandwidth.NLANRVariability(),
+		Runs:       4,
+		Seed:       42,
+	}
+	fresh, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := NewArena()
+	for _, par := range []int{1, 2, 8} {
+		cfg := base
+		cfg.Arena = arena
+		cfg.Parallelism = par
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != fresh {
+			t.Errorf("Arena+Parallelism=%d changed metrics:\n%+v\nwant\n%+v", par, got, fresh)
+		}
+	}
+}
+
+// The contract must also hold for stateful estimators (EWMA observes
+// per-request draws) and a second sweep point sharing the same arena.
+func TestArenaSharedAcrossConfigsBitIdentical(t *testing.T) {
+	arena := NewArena()
+	for _, cacheBytes := range []int64{cachePct(2), cachePct(10)} {
+		base := Config{
+			Workload:   testWorkload(),
+			CacheBytes: cacheBytes,
+			Policy:     core.NewPB(),
+			Variation:  bandwidth.MeasuredVariability(),
+			Estimators: EWMAEstimator(0.3),
+			Runs:       2,
+			Seed:       7,
+		}
+		fresh, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		memo := base
+		memo.Arena = arena
+		got, err := Run(memo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != fresh {
+			t.Errorf("cache=%d: memoized metrics differ:\n%+v\nwant\n%+v", cacheBytes, got, fresh)
+		}
+	}
+}
+
+// TestArenaReusesWorkloads pins that the arena actually dedupes: two
+// runs with the same (config, seed) must observe the same backing
+// slices.
+func TestArenaReusesWorkloads(t *testing.T) {
+	arena := NewArena()
+	cfg := testWorkload()
+	cfg.Seed = 99
+	a, objsA, err := arena.Workload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, objsB, err := arena.Workload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same workload config generated twice despite arena")
+	}
+	if &objsA[0] != &objsB[0] {
+		t.Error("core.Object conversion not shared")
+	}
+	meansA := arena.PathMeans(bandwidth.NLANR(), 123, 50)
+	meansB := arena.PathMeans(bandwidth.NLANR(), 123, 50)
+	if &meansA[0] != &meansB[0] {
+		t.Error("path means not shared for the NLANR singleton")
+	}
+}
+
+// TestRunOnceSteadyStateAllocs pins the per-request allocation budget of
+// the simulation hot path: with a warm arena and the default oracle
+// estimator, a full run performs only its fixed per-run setup
+// allocations (cache tables, RNG), i.e. well under 0.01 allocs per
+// request.
+func TestRunOnceSteadyStateAllocs(t *testing.T) {
+	cfg := Config{
+		Workload:   testWorkload(),
+		CacheBytes: cachePct(5),
+		Policy:     core.NewPB(),
+		Runs:       1,
+		Seed:       5,
+		Arena:      NewArena(),
+	}
+	cfg, err := cfg.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := SplitSeed(cfg.Seed, 0)
+	if _, err := runOnce(cfg, seed); err != nil { // warm the arena
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := runOnce(cfg, seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perRequest := allocs / float64(cfg.Workload.NumRequests)
+	if perRequest > 0.01 {
+		t.Errorf("steady-state runOnce allocates %.4f objects/request (%.0f total), want <= 0.01",
+			perRequest, allocs)
+	}
+}
+
+// The active prober must draw independent noise streams for paths that
+// share a mean bandwidth (the factory seed mixes in the path index).
+func TestActiveProberSeedsDifferPerPath(t *testing.T) {
+	factory := ActiveProbeEstimator(0.3)
+	const mean = 256 * 1024.0
+	a := factory(0, mean)
+	b := factory(1, mean)
+	a.Observe(0) // trigger a probe
+	b.Observe(0)
+	if a.Estimate() == b.Estimate() {
+		t.Errorf("two paths with equal means share a probe stream: both estimate %v", a.Estimate())
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"sync"
 	"time"
 
 	"streamcache/internal/bandwidth"
@@ -30,19 +31,24 @@ import (
 var ErrBadConfig = errors.New("sim: invalid configuration")
 
 // EstimatorFactory builds the per-path bandwidth estimator the cache
-// consults; pathMean is the path's true long-term mean bandwidth.
-type EstimatorFactory func(pathMean float64) bandwidth.Estimator
+// consults; path is the origin path's index (== object ID) and pathMean
+// its true long-term mean bandwidth. Factories that seed private
+// randomness must derive it from the path index (two paths can share a
+// mean, but never an index).
+type EstimatorFactory func(path int, pathMean float64) bandwidth.Estimator
 
 // OracleEstimator models a cache that knows each path's average
-// bandwidth - the assumption behind the paper's main experiments.
-func OracleEstimator(pathMean float64) bandwidth.Estimator {
+// bandwidth - the assumption behind the paper's main experiments. It is
+// also the default: a nil Config.Estimators takes an allocation-free
+// fast path with identical estimates.
+func OracleEstimator(_ int, pathMean float64) bandwidth.Estimator {
 	return &bandwidth.Static{Rate: pathMean}
 }
 
 // UnderestimatingOracle returns an oracle scaled by the factor e - the
 // over-provisioning heuristic swept in Figures 9 and 12.
 func UnderestimatingOracle(e float64) EstimatorFactory {
-	return func(pathMean float64) bandwidth.Estimator {
+	return func(_ int, pathMean float64) bandwidth.Estimator {
 		return &bandwidth.Underestimator{Inner: &bandwidth.Static{Rate: pathMean}, Factor: e}
 	}
 }
@@ -50,7 +56,7 @@ func UnderestimatingOracle(e float64) EstimatorFactory {
 // EWMAEstimator returns a passive estimator (Section 2.7) that averages
 // the throughput of completed transfers with the given smoothing factor.
 func EWMAEstimator(alpha float64) EstimatorFactory {
-	return func(float64) bandwidth.Estimator {
+	return func(int, float64) bandwidth.Estimator {
 		e, err := bandwidth.NewEWMA(alpha)
 		if err != nil {
 			// alpha is validated by Config.normalize before any call.
@@ -74,7 +80,7 @@ const (
 // transfer. This is the Section 6 "integrate active bandwidth
 // measurement into proxy caches" direction.
 func ActiveProbeEstimator(jitter float64) EstimatorFactory {
-	return func(pathMean float64) bandwidth.Estimator {
+	return func(path int, pathMean float64) bandwidth.Estimator {
 		if pathMean < 1024 {
 			pathMean = 1024
 		}
@@ -82,7 +88,10 @@ func ActiveProbeEstimator(jitter float64) EstimatorFactory {
 		if err != nil {
 			panic(fmt.Sprintf("sim: active probe conditions: %v", err))
 		}
-		seed := int64(math.Float64bits(pathMean)) ^ 0x41C64E6D
+		// The probe seed mixes the path index with the mean, so two
+		// paths that happen to share a mean bandwidth still draw
+		// independent measurement-noise streams.
+		seed := SplitSeed(int64(math.Float64bits(pathMean))^0x41C64E6D, int64(path))
 		p, err := bandwidth.NewActiveProber(cond, probeMSS, probeRTO, 1, jitter, seed)
 		if err != nil {
 			panic(fmt.Sprintf("sim: active prober: %v", err))
@@ -126,7 +135,10 @@ type Config struct {
 	Base bandwidth.Model
 	// Variation draws per-request sample-to-mean ratios (default: none).
 	Variation bandwidth.Variability
-	// Estimators builds the per-path estimator (default: oracle mean).
+	// Estimators builds the per-path estimator. Nil means the oracle
+	// mean (the paper's default assumption), served by an
+	// allocation-free fast path numerically identical to
+	// OracleEstimator.
 	Estimators EstimatorFactory
 	// WarmFraction of requests warms the cache before metrics are
 	// recorded (default 0.5, as in Section 4.1).
@@ -140,6 +152,13 @@ type Config struct {
 	// streams from SplitSeed(Seed, run) and results aggregate in run
 	// order, Metrics are bit-identical for every Parallelism value.
 	Parallelism int
+	// Arena, when set, memoizes generated workloads and per-path mean
+	// bandwidths across runs — share one arena across all the sweep
+	// points of an experiment so identical (config, seed) inputs are
+	// derived once instead of at every point. Every arena value is a
+	// pure function of its key, so Metrics are bit-identical with or
+	// without an arena (regression-tested). Nil disables memoization.
+	Arena *Arena
 }
 
 func (c Config) normalize() (Config, error) {
@@ -154,9 +173,6 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.Variation == nil {
 		c.Variation = bandwidth.NoVariation{}
-	}
-	if c.Estimators == nil {
-		c.Estimators = OracleEstimator
 	}
 	if c.WarmFraction == 0 {
 		c.WarmFraction = 0.5
@@ -232,10 +248,32 @@ func Run(cfg Config) (Metrics, error) {
 	return agg, nil
 }
 
+// netSeedSalt separates the network random streams from the workload
+// stream of the same run (the workload generator seeds rand with the
+// run seed directly).
+const netSeedSalt = 0x5DEECE66D
+
+// runScratch holds per-run slices reused across runs via scratchPool.
+// Only the slice headers survive a run: every element is rewritten
+// before use, so pooled state can never leak between runs (and results
+// stay bit-identical whether or not a pooled buffer was reused).
+type runScratch struct {
+	estimators []bandwidth.Estimator
+}
+
+func (s *runScratch) estSlice(n int) []bandwidth.Estimator {
+	if cap(s.estimators) < n {
+		s.estimators = make([]bandwidth.Estimator, n)
+	}
+	return s.estimators[:n]
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
 func runOnce(cfg Config, seed int64) (Metrics, error) {
 	wcfg := cfg.Workload
 	wcfg.Seed = seed
-	wl, err := workload.Generate(wcfg)
+	wl, objs, err := cfg.Arena.Workload(wcfg)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -243,21 +281,35 @@ func runOnce(cfg Config, seed int64) (Metrics, error) {
 	if cfg.PolicyFactory != nil {
 		policy = cfg.PolicyFactory()
 	}
-	cache, err := core.New(cfg.CacheBytes, policy, cfg.CacheOptions...)
+	opts := make([]core.Option, 0, len(cfg.CacheOptions)+1)
+	opts = append(opts, core.WithExpectedObjects(len(objs)))
+	opts = append(opts, cfg.CacheOptions...)
+	cache, err := core.New(cfg.CacheBytes, policy, opts...)
 	if err != nil {
 		return Metrics{}, err
 	}
-	// Independent stream for network conditions so that workload and
-	// bandwidth randomness do not interfere.
-	netRNG := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
 
-	// Assign each object's origin path a mean bandwidth and estimator.
-	paths := make([]bandwidth.Path, len(wl.Objects))
-	estimators := make([]bandwidth.Estimator, len(wl.Objects))
-	for i := range wl.Objects {
-		mean := cfg.Base.Sample(netRNG)
-		paths[i] = bandwidth.Path{MeanRate: mean, Variation: cfg.Variation}
-		estimators[i] = cfg.Estimators(mean)
+	// Independent streams for network conditions so that workload and
+	// bandwidth randomness do not interfere. Path-mean assignment and
+	// per-request variability draw from separate streams, which is what
+	// lets the arena reuse the (deterministic) mean assignment without
+	// perturbing per-request draws.
+	pathSeed := seed ^ netSeedSalt
+	means := cfg.Arena.PathMeans(cfg.Base, pathSeed, len(objs))
+	instRNG := rand.New(rand.NewSource(SplitSeed(pathSeed, 1)))
+
+	// Build the per-path estimators; a nil factory is the oracle mean,
+	// read straight from the memoized assignment.
+	oracle := cfg.Estimators == nil
+	var estimators []bandwidth.Estimator
+	var scratch *runScratch
+	if !oracle {
+		scratch = scratchPool.Get().(*runScratch)
+		defer scratchPool.Put(scratch)
+		estimators = scratch.estSlice(len(objs))
+		for i := range estimators {
+			estimators[i] = cfg.Estimators(i, means[i])
+		}
 	}
 
 	warm := int(cfg.WarmFraction * float64(len(wl.Requests)))
@@ -269,19 +321,18 @@ func runOnce(cfg Config, seed int64) (Metrics, error) {
 		totalBytes float64
 		hits       int
 	)
-	for i, req := range wl.Requests {
-		o := wl.Objects[req.ObjectID]
-		obj := core.Object{
-			ID:       o.ID,
-			Size:     o.Size,
-			Duration: o.Duration,
-			Rate:     o.Rate,
-			Value:    o.Value,
+	for i := range wl.Requests {
+		req := &wl.Requests[i]
+		obj := objs[req.ObjectID]
+		inst := bandwidth.Path{MeanRate: means[obj.ID], Variation: cfg.Variation}.Instant(instRNG)
+		est := means[obj.ID]
+		if !oracle {
+			est = estimators[obj.ID].Estimate()
 		}
-		inst := paths[o.ID].Instant(netRNG)
-		est := estimators[o.ID].Estimate()
 		res := cache.Access(obj, est, req.Time)
-		estimators[o.ID].Observe(inst)
+		if !oracle {
+			estimators[obj.ID].Observe(inst)
+		}
 		if i < warm {
 			continue
 		}

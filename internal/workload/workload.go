@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"streamcache/internal/dist"
 	"streamcache/internal/units"
@@ -124,11 +125,40 @@ func (c Config) Normalize() (Config, error) {
 // Rate returns the CBR object rate in bytes/s.
 func (c Config) Rate() float64 { return float64(c.BytesPerFrame) * c.FramesPerSec }
 
-// Workload is a generated object catalog plus request trace.
+// Workload is a generated object catalog plus request trace. A
+// generated workload is immutable: Generate never hands out a value it
+// retains, and nothing in this package mutates one afterwards, so a
+// single Workload may be shared freely across goroutines (the sim
+// arena's memoization relies on this).
 type Workload struct {
 	Config   Config
 	Objects  []Object // indexed by ID
 	Requests []Request
+}
+
+// zipfKey identifies one precomputed popularity CDF.
+type zipfKey struct {
+	n     int
+	alpha float64
+}
+
+// zipfTables caches Zipf CDFs across generations: every run of a sweep
+// rebuilds the identical (N, alpha) table, which costs an O(N) pass of
+// math.Pow. A *dist.Zipf is immutable after construction, so sharing
+// one across concurrent generations is safe and changes no output.
+var zipfTables sync.Map // zipfKey -> *dist.Zipf
+
+func cachedZipf(n int, alpha float64) (*dist.Zipf, error) {
+	key := zipfKey{n: n, alpha: alpha}
+	if z, ok := zipfTables.Load(key); ok {
+		return z.(*dist.Zipf), nil
+	}
+	z, err := dist.NewZipf(n, alpha)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := zipfTables.LoadOrStore(key, z)
+	return actual.(*dist.Zipf), nil
 }
 
 // Generate builds a workload from cfg (zero fields default to Table 1).
@@ -158,7 +188,7 @@ func Generate(cfg Config) (*Workload, error) {
 		}
 	}
 
-	zipf, err := dist.NewZipf(cfg.NumObjects, cfg.ZipfAlpha)
+	zipf, err := cachedZipf(cfg.NumObjects, cfg.ZipfAlpha)
 	if err != nil {
 		return nil, fmt.Errorf("workload: %w", err)
 	}

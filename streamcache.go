@@ -113,6 +113,8 @@ type (
 	SimMetrics = sim.Metrics
 	// EstimatorFactory builds per-path estimators for simulations.
 	EstimatorFactory = sim.EstimatorFactory
+	// SimArena memoizes workloads and path assignments across sweeps.
+	SimArena = sim.Arena
 )
 
 // Smoothing types.
@@ -310,9 +312,15 @@ func MathisThroughput(mss int, rtt time.Duration, loss float64) (float64, error)
 func RunSimulation(cfg SimConfig) (SimMetrics, error) { return sim.Run(cfg) }
 
 // OracleEstimator models a cache that knows each path's mean bandwidth.
-func OracleEstimator(pathMean float64) BandwidthEstimator {
-	return sim.OracleEstimator(pathMean)
+func OracleEstimator(path int, pathMean float64) BandwidthEstimator {
+	return sim.OracleEstimator(path, pathMean)
 }
+
+// NewSimArena builds a workload/path memoization arena. Share one arena
+// (via SimConfig.Arena) across the sweep points of an experiment so
+// identical (workload config, seed) inputs are generated once; results
+// are bit-identical with or without it.
+func NewSimArena() *SimArena { return sim.NewArena() }
 
 // UnderestimatingOracle scales the oracle estimate by e (Figures 9, 12).
 func UnderestimatingOracle(e float64) EstimatorFactory {
