@@ -13,7 +13,7 @@ BENCHTIME ?= 2s
 BENCH_JSON ?= BENCH.json
 BENCH_BASELINE ?=
 
-.PHONY: all ci vet build test race bench bench-smoke bench-json fuzz-smoke figures clean
+.PHONY: all ci vet build test race bench bench-smoke bench-json fuzz-smoke figures docs-check shard-check clean
 
 all: ci
 
@@ -63,5 +63,24 @@ fuzz-smoke:
 figures:
 	$(GO) run ./cmd/figures -out results
 
+## docs-check: every relative Markdown link in the docs set resolves.
+docs-check:
+	bash scripts/check-md-links.sh
+
+## shard-check: end-to-end sharded sweep — run 2 shards with journals,
+## merge, and diff against the single-process output (OPERATIONS.md §7).
+SHARD_KEYS ?= figure5,refined-e
+shard-check:
+	rm -rf shard-check
+	$(GO) run ./cmd/figures -out shard-check/sharded -only '$(SHARD_KEYS)' -shard 0/2 -journal shard-check/sharded/j0.jsonl
+	$(GO) run ./cmd/figures -out shard-check/sharded -only '$(SHARD_KEYS)' -shard 1/2 -journal shard-check/sharded/j1.jsonl
+	$(GO) run ./cmd/figures -out shard-check/sharded -merge -jsonl
+	$(GO) run ./cmd/figures -out shard-check/single -only '$(SHARD_KEYS)' -jsonl
+	@for f in shard-check/single/*.csv shard-check/single/*.jsonl; do \
+		diff "$$f" "shard-check/sharded/$$(basename $$f)" || exit 1; \
+	done
+	@echo "shard-check: merged shard output is byte-identical to the single-process run"
+	rm -rf shard-check
+
 clean:
-	rm -rf results
+	rm -rf results shard-check

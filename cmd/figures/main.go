@@ -7,15 +7,28 @@
 //	figures -out results/            # fast small-scale run
 //	figures -out results/ -scale paper -only figure5,figure9
 //	figures -out results/ -jsonl -refine 8
+//
+// Sweeps distribute across processes and survive interruption (see
+// OPERATIONS.md): each shard writes index-keyed JSONL plus a checkpoint
+// journal, and -merge reassembles the canonical files afterwards,
+// byte-identical to a single-process run.
+//
+//	figures -out results/ -shard 0/2 -journal results/j0.jsonl   # machine A
+//	figures -out results/ -shard 1/2 -journal results/j1.jsonl   # machine B
+//	figures -out results/ -shard 1/2 -journal results/j1.jsonl -resume  # after a crash
+//	figures -out results/ -merge                                 # combine
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"regexp"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -65,6 +78,10 @@ func run() error {
 		parallel = flag.Int("parallel", 0, "worker goroutines per sweep (0 = GOMAXPROCS); tables are identical for any value")
 		refine   = flag.Int("refine", -1, "extra adaptive points per refined sweep (-1 = scale default)")
 		jsonl    = flag.Bool("jsonl", false, "also stream each experiment as JSON Lines next to its CSV")
+		shard    = flag.String("shard", "", "compute only this shard of every sweep, as index/count (e.g. 0/2); output becomes per-shard JSONL for -merge")
+		journal  = flag.String("journal", "", "checkpoint completed rows to this JSONL journal")
+		resume   = flag.Bool("resume", false, "skip rows already recorded in -journal (resume an interrupted run)")
+		merge    = flag.Bool("merge", false, "merge the per-shard JSONL outputs in -out into canonical CSV (and -jsonl) files, then exit")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -96,6 +113,13 @@ func run() error {
 		}()
 	}
 
+	if *merge {
+		return mergeShardOutputs(*out, *jsonl)
+	}
+	if *resume && *journal == "" {
+		return fmt.Errorf("-resume needs -journal to name the checkpoint file")
+	}
+
 	var s experiments.Scale
 	switch *scale {
 	case "small":
@@ -110,6 +134,11 @@ func run() error {
 	if *refine >= 0 {
 		s.RefineBudget = *refine
 	}
+	sh, err := experiments.ParseShard(*shard)
+	if err != nil {
+		return err
+	}
+	s.Shard = sh
 
 	exps := experiments.Experiments()
 	known := map[string]bool{}
@@ -135,8 +164,25 @@ func run() error {
 		return err
 	}
 
+	var j *experiments.Journal
+	if *journal != "" {
+		if *resume {
+			j, err = experiments.ResumeJournal(*journal, s.Fingerprint())
+		} else {
+			j, err = experiments.CreateJournal(*journal, s.Fingerprint())
+		}
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		if *resume {
+			s.Resume = j
+		}
+	}
+
 	var index strings.Builder
-	fmt.Fprintf(&index, "# Regenerated %s at scale=%s seed=%d\n", time.Now().Format(time.RFC3339), *scale, *seed)
+	fmt.Fprintf(&index, "# Regenerated %s at scale=%s seed=%d shard=%s\n",
+		time.Now().Format(time.RFC3339), *scale, *seed, s.Shard)
 	for _, e := range exps {
 		if len(selected) > 0 && !selected[e.Key] {
 			continue
@@ -145,52 +191,197 @@ func run() error {
 		if file == "" {
 			file = e.Key + ".csv"
 		}
+		if s.Shard.Count > 1 {
+			// Sharded runs emit index-keyed JSONL only: CSV rows carry no
+			// index, so a shard's CSV could not be merged.
+			file = shardFileName(file, s.Shard)
+		}
 		start := time.Now()
-		name, rows, err := streamExperiment(e, s, filepath.Join(*out, file), *jsonl)
+		name, rows, err := streamExperiment(e, s, j, filepath.Join(*out, file), *jsonl)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.Key, err)
 		}
 		fmt.Printf("%-20s %-45s %5d rows  %v\n", e.Key, file, rows, time.Since(start).Round(time.Millisecond))
 		fmt.Fprintf(&index, "%s: %s (%d rows) - %s\n", e.Key, file, rows, name)
 	}
-	return os.WriteFile(filepath.Join(*out, "INDEX.txt"), []byte(index.String()), 0o644)
+	indexName := "INDEX.txt"
+	if s.Shard.Count > 1 {
+		indexName = fmt.Sprintf("INDEX.shard%d-of-%d.txt", s.Shard.Index, s.Shard.Count)
+	}
+	return os.WriteFile(filepath.Join(*out, indexName), []byte(index.String()), 0o644)
 }
 
-// nameSink records the table name flowing past it, for the index file.
-type nameSink struct {
-	experiments.RowSink
+// shardFileName turns figure5_x.csv into figure5_x.shard0-of-2.jsonl.
+func shardFileName(csvName string, sh experiments.Shard) string {
+	stem := strings.TrimSuffix(csvName, ".csv")
+	return fmt.Sprintf("%s.shard%d-of-%d.jsonl", stem, sh.Index, sh.Count)
+}
+
+// metaCapture records the table name flowing past it, for the index
+// file. It rides inside the MultiSink (not around it), so the engine
+// still sees the index-aware sinks beside it.
+type metaCapture struct {
 	name string
 }
 
-func (n *nameSink) Begin(meta experiments.TableMeta) error {
-	n.name = meta.Name
-	return n.RowSink.Begin(meta)
+func (m *metaCapture) Begin(meta experiments.TableMeta) error {
+	m.name = meta.Name
+	return nil
+}
+func (m *metaCapture) Row([]string) error { return nil }
+func (m *metaCapture) End() error         { return nil }
+
+// countingSink counts rows without rendering them.
+type countingSink struct {
+	rows int
 }
 
-// streamExperiment streams one experiment to csvPath (plus an optional
-// sibling .jsonl), returning the table name and row count.
-func streamExperiment(e experiments.Experiment, s experiments.Scale, csvPath string, jsonl bool) (string, int, error) {
-	csvFile, err := os.Create(csvPath)
+func (c *countingSink) Begin(experiments.TableMeta) error { return nil }
+func (c *countingSink) Row([]string) error                { c.rows++; return nil }
+func (c *countingSink) End() error                        { return nil }
+
+// streamExperiment streams one experiment to path — canonical CSV (plus
+// an optional sibling .jsonl) when unsharded, per-shard JSONL when
+// sharded — journaling rows when j is non-nil, and returns the table
+// name and the row count this process emitted.
+func streamExperiment(e experiments.Experiment, s experiments.Scale, j *experiments.Journal,
+	path string, jsonl bool) (string, int, error) {
+
+	out, err := os.Create(path)
 	if err != nil {
 		return "", 0, err
 	}
-	defer csvFile.Close()
-	csv := experiments.NewCSVSink(csvFile)
-	sink := experiments.MultiSink{csv}
+	defer out.Close()
 
+	meta := &metaCapture{}
+	count := &countingSink{}
+	sink := experiments.MultiSink{meta, count}
+	if s.Shard.Count > 1 {
+		sink = append(sink, experiments.NewJSONLSink(out))
+	} else {
+		sink = append(sink, experiments.NewCSVSink(out))
+		if jsonl {
+			jsonlPath := strings.TrimSuffix(path, ".csv") + ".jsonl"
+			jf, err := os.Create(jsonlPath)
+			if err != nil {
+				return "", 0, err
+			}
+			defer jf.Close()
+			sink = append(sink, experiments.NewJSONLSink(jf))
+		}
+	}
+	if j != nil {
+		sink = append(sink, experiments.NewJournalSink(j))
+	}
+
+	if err := e.Stream(s, sink); err != nil {
+		return "", 0, err
+	}
+	return meta.name, count.rows, out.Close()
+}
+
+// shardFilePattern matches per-shard outputs: <stem>.shard<i>-of-<n>.jsonl.
+var shardFilePattern = regexp.MustCompile(`^(.+)\.shard(\d+)-of-(\d+)\.jsonl$`)
+
+// mergeShardOutputs scans dir for per-shard JSONL groups, validates each
+// group is complete, and merges every group into its canonical CSV
+// (and, with jsonl, JSONL) file — byte-identical to an unsharded run.
+func mergeShardOutputs(dir string, jsonl bool) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	type group struct {
+		count int
+		parts map[int]string // shard index -> file name
+	}
+	groups := map[string]*group{}
+	for _, ent := range entries {
+		m := shardFilePattern.FindStringSubmatch(ent.Name())
+		if m == nil {
+			continue
+		}
+		stem := m[1]
+		var idx, count int
+		fmt.Sscanf(m[2], "%d", &idx)
+		fmt.Sscanf(m[3], "%d", &count)
+		g := groups[stem]
+		if g == nil {
+			g = &group{count: count, parts: map[int]string{}}
+			groups[stem] = g
+		}
+		if g.count != count {
+			return fmt.Errorf("merge: %s has shards of both %d and %d", stem, g.count, count)
+		}
+		if prev, dup := g.parts[idx]; dup {
+			return fmt.Errorf("merge: %s shard %d appears twice (%s, %s)", stem, idx, prev, ent.Name())
+		}
+		g.parts[idx] = ent.Name()
+	}
+	if len(groups) == 0 {
+		return fmt.Errorf("merge: no *.shard<i>-of-<n>.jsonl files in %s", dir)
+	}
+
+	stems := make([]string, 0, len(groups))
+	for stem := range groups {
+		stems = append(stems, stem)
+	}
+	sort.Strings(stems)
+	for _, stem := range stems {
+		g := groups[stem]
+		readers := make([]*os.File, 0, g.count)
+		closeAll := func() {
+			for _, f := range readers {
+				f.Close()
+			}
+		}
+		for idx := 0; idx < g.count; idx++ {
+			name, ok := g.parts[idx]
+			if !ok {
+				closeAll()
+				return fmt.Errorf("merge: %s is missing shard %d of %d", stem, idx, g.count)
+			}
+			f, err := os.Open(filepath.Join(dir, name))
+			if err != nil {
+				closeAll()
+				return err
+			}
+			readers = append(readers, f)
+		}
+
+		if err := writeMerged(dir, stem, readers, jsonl); err != nil {
+			closeAll()
+			return fmt.Errorf("merge: %s: %w", stem, err)
+		}
+		closeAll()
+		fmt.Printf("merged %-45s %d shards -> %s.csv\n", stem, g.count, stem)
+	}
+	return nil
+}
+
+// writeMerged merges one group of open shard files into canonical
+// outputs under dir.
+func writeMerged(dir, stem string, parts []*os.File, jsonl bool) error {
+	csvFile, err := os.Create(filepath.Join(dir, stem+".csv"))
+	if err != nil {
+		return err
+	}
+	defer csvFile.Close()
+	sink := experiments.MultiSink{experiments.NewCSVSink(csvFile)}
 	if jsonl {
-		jsonlPath := strings.TrimSuffix(csvPath, ".csv") + ".jsonl"
-		jf, err := os.Create(jsonlPath)
+		jf, err := os.Create(filepath.Join(dir, stem+".jsonl"))
 		if err != nil {
-			return "", 0, err
+			return err
 		}
 		defer jf.Close()
 		sink = append(sink, experiments.NewJSONLSink(jf))
 	}
-
-	named := &nameSink{RowSink: sink}
-	if err := e.Stream(s, named); err != nil {
-		return "", 0, err
+	in := make([]io.Reader, len(parts))
+	for i, p := range parts {
+		in[i] = p
 	}
-	return named.name, csv.Rows(), csvFile.Close()
+	if err := experiments.MergeShards(in, sink); err != nil {
+		return err
+	}
+	return csvFile.Close()
 }

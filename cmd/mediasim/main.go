@@ -14,6 +14,13 @@
 // completes, refining the axis where the metric gradient is steepest:
 //
 //	mediasim -sweep e -sweep-points 0,0.25,0.5,0.75,1 -refine 6 -format jsonl -out e.jsonl
+//
+// Sweeps shard across processes and resume after interruption (see
+// OPERATIONS.md); shard outputs must be JSONL so experiments.MergeShards
+// (or figures -merge) can reassemble them by global row index:
+//
+//	mediasim -sweep e -shard 0/2 -format jsonl -out e.0.jsonl -journal e.0.journal
+//	mediasim -sweep e -shard 0/2 -format jsonl -out e.0.jsonl -journal e.0.journal -resume
 package main
 
 import (
@@ -97,6 +104,9 @@ func run() error {
 		refine      = flag.Int("refine", -1, "extra adaptive sweep points (-1 = scale default)")
 		format      = flag.String("format", "csv", "sweep output format: csv or jsonl")
 		outPath     = flag.String("out", "", "sweep output file (default stdout)")
+		shard       = flag.String("shard", "", "emit only this shard of the sweep, as index/count (e.g. 0/2); requires -format jsonl")
+		journalPath = flag.String("journal", "", "checkpoint completed sweep rows to this JSONL journal")
+		resume      = flag.Bool("resume", false, "skip sweep rows already recorded in -journal")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -123,8 +133,16 @@ func run() error {
 			return fmt.Errorf("sweep mode fixes the policy/network/cache per axis; drop %s",
 				strings.Join(conflicting, ", "))
 		}
-		return runSweep(*sweepAxis, *sweepPoints, *objects, *requests, *runs, *refine,
-			*parallel, *seed, *format, *outPath)
+		return runSweep(sweepConfig{
+			axis: *sweepAxis, points: *sweepPoints,
+			objects: *objects, requests: *requests, runs: *runs,
+			refine: *refine, parallel: *parallel, seed: *seed,
+			format: *format, outPath: *outPath,
+			shard: *shard, journal: *journalPath, resume: *resume,
+		})
+	}
+	if *shard != "" || *journalPath != "" || *resume {
+		return fmt.Errorf("-shard/-journal/-resume apply to sweep mode; add -sweep")
 	}
 
 	policy, err := core.PolicyByName(*policyName, *e)
@@ -173,26 +191,36 @@ func run() error {
 	return nil
 }
 
-// runSweep streams one adaptively refined axis sweep to the chosen
-// output, row by row as points complete.
-func runSweep(axis, points string, objects, requests, runs, refine, parallel int,
-	seed int64, format, outPath string) error {
+// sweepConfig carries the sweep-mode flag set.
+type sweepConfig struct {
+	axis, points            string
+	objects, requests, runs int
+	refine, parallel        int
+	seed                    int64
+	format, outPath         string
+	shard, journal          string
+	resume                  bool
+}
 
+// runSweep streams one adaptively refined axis sweep to the chosen
+// output, row by row as points complete, optionally sharded across
+// processes and checkpointed for resume.
+func runSweep(c sweepConfig) error {
 	s := experiments.SmallScale()
-	s.Objects = objects
-	s.Requests = requests
-	s.Runs = runs
-	s.Seed = seed
-	s.Parallelism = parallel
-	if refine >= 0 {
-		s.RefineBudget = refine
+	s.Objects = c.objects
+	s.Requests = c.requests
+	s.Runs = c.runs
+	s.Seed = c.seed
+	s.Parallelism = c.parallel
+	if c.refine >= 0 {
+		s.RefineBudget = c.refine
 	}
-	if points != "" {
-		grid, err := parseGrid(points)
+	if c.points != "" {
+		grid, err := parseGrid(c.points)
 		if err != nil {
 			return err
 		}
-		switch axis {
+		switch c.axis {
 		case "e":
 			s.ESweep = grid
 		case "sigma":
@@ -205,14 +233,25 @@ func runSweep(axis, points string, objects, requests, runs, refine, parallel int
 		"e":     "refined-e",
 		"sigma": "refined-sigma",
 		"cache": "refined-cache",
-	}[axis]
+	}[c.axis]
 	if !ok {
-		return fmt.Errorf("unknown sweep axis %q (want e, sigma, or cache)", axis)
+		return fmt.Errorf("unknown sweep axis %q (want e, sigma, or cache)", c.axis)
+	}
+	sh, err := experiments.ParseShard(c.shard)
+	if err != nil {
+		return err
+	}
+	s.Shard = sh
+	if sh.Count > 1 && c.format != "jsonl" {
+		return fmt.Errorf("sharded sweeps need -format jsonl (CSV rows carry no index to merge on)")
+	}
+	if c.resume && c.journal == "" {
+		return fmt.Errorf("-resume needs -journal to name the checkpoint file")
 	}
 
 	var w io.Writer = os.Stdout
-	if outPath != "" {
-		f, err := os.Create(outPath)
+	if c.outPath != "" {
+		f, err := os.Create(c.outPath)
 		if err != nil {
 			return err
 		}
@@ -220,13 +259,29 @@ func runSweep(axis, points string, objects, requests, runs, refine, parallel int
 		w = f
 	}
 	var sink experiments.RowSink
-	switch format {
+	switch c.format {
 	case "csv":
 		sink = experiments.NewCSVSink(w)
 	case "jsonl":
 		sink = experiments.NewJSONLSink(w)
 	default:
-		return fmt.Errorf("unknown sweep format %q (want csv or jsonl)", format)
+		return fmt.Errorf("unknown sweep format %q (want csv or jsonl)", c.format)
+	}
+	if c.journal != "" {
+		var j *experiments.Journal
+		if c.resume {
+			j, err = experiments.ResumeJournal(c.journal, s.Fingerprint())
+		} else {
+			j, err = experiments.CreateJournal(c.journal, s.Fingerprint())
+		}
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		if c.resume {
+			s.Resume = j
+		}
+		sink = experiments.MultiSink{sink, experiments.NewJournalSink(j)}
 	}
 	return experiments.Stream(key, s, sink)
 }

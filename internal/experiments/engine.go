@@ -25,11 +25,39 @@ import (
 // rowTask computes one row of a table.
 type rowTask func() ([]string, error)
 
+// emitted is one row leaving a runner: the payload plus its global
+// index — the row's position in the unsharded deterministic stream,
+// the stable key of the sharding and journaling subsystems — and, for
+// adaptive sweeps, the refinement metric journaled so a resumed
+// refinement ranks intervals on exactly the values a fresh run sees.
+type emitted struct {
+	index     int
+	row       []string
+	metric    float64
+	hasMetric bool
+}
+
+// exec is the execution context of one streamed run: the worker bound,
+// the shard of the row space this process owns, and the resume journal
+// whose completed rows are replayed instead of recomputed.
+type exec struct {
+	parallelism int
+	shard       Shard
+	resume      *Journal
+	table       string // table name, the journal key prefix
+}
+
+// replay looks up a completed row for the global index in the resume
+// journal (nil-safe: no journal, no replays).
+func (x exec) replay(index int) (journalRow, bool) {
+	return x.resume.replay(x.table, index)
+}
+
 // runner produces one experiment's rows, streaming them through emit in
 // deterministic order.
 type runner interface {
 	tableMeta() TableMeta
-	run(parallelism int, emit func(row []string) error) error
+	run(x exec, emit func(e emitted) error) error
 }
 
 // parallelism resolves the effective worker bound of the scale.
@@ -78,8 +106,19 @@ type taskSweep struct {
 
 func (t *taskSweep) tableMeta() TableMeta { return t.meta }
 
-func (t *taskSweep) run(parallelism int, emit func(row []string) error) error {
-	return streamTasks(parallelism, t.tasks, emit)
+// run executes the shard-owned subset of the grid over the worker pool,
+// replaying journaled rows instead of recomputing them, and emits rows
+// in ascending global-index order.
+func (t *taskSweep) run(x exec, emit func(e emitted) error) error {
+	owned := x.shard.indices(len(t.tasks))
+	return streamOrdered(x.parallelism, len(owned), func(j int) (emitted, error) {
+		g := owned[j]
+		if r, ok := x.replay(g); ok {
+			return emitted{index: g, row: r.row}, nil
+		}
+		row, err := t.tasks[g]()
+		return emitted{index: g, row: row}, err
+	}, func(_ int, e emitted) error { return emit(e) })
 }
 
 // staticTable is a runner whose rows were computed eagerly (the
@@ -92,9 +131,15 @@ type staticTable struct {
 
 func (t *staticTable) tableMeta() TableMeta { return t.meta }
 
-func (t *staticTable) run(_ int, emit func(row []string) error) error {
-	for _, row := range t.rows {
-		if err := emit(row); err != nil {
+// run emits the shard-owned subset of the precomputed rows. The rows
+// were already materialized by the builder, so sharding a static table
+// splits only its output, not its (cheap) computation.
+func (t *staticTable) run(x exec, emit func(e emitted) error) error {
+	for i, row := range t.rows {
+		if !x.shard.owns(i) {
+			continue
+		}
+		if err := emit(emitted{index: i, row: row}); err != nil {
 			return err
 		}
 	}
@@ -162,19 +207,23 @@ func streamOrdered[T any](parallelism, n int, eval func(i int) (T, error), deliv
 }
 
 // streamTasks executes tasks over the pool and emits their rows in
-// task order.
+// task order (the unsharded, journal-free fast path kept for tests).
 func streamTasks(parallelism int, tasks []rowTask, emit func(row []string) error) error {
 	return streamOrdered(parallelism, len(tasks),
 		func(i int) ([]string, error) { return tasks[i]() },
 		func(_ int, row []string) error { return emit(row) })
 }
 
-// stream drives one runner into a sink: Begin, ordered rows, End.
+// stream drives one runner into a sink: Begin, ordered rows, End. Rows
+// reach the sink through sinkEmit, so index-aware sinks (JSONL,
+// journal) observe each row's global index.
 func stream(s Scale, r runner, sink RowSink) error {
-	if err := sink.Begin(r.tableMeta()); err != nil {
+	meta := r.tableMeta()
+	if err := sink.Begin(meta); err != nil {
 		return err
 	}
-	if err := r.run(s.parallelism(), sink.Row); err != nil {
+	x := exec{parallelism: s.parallelism(), shard: s.Shard, resume: s.Resume, table: meta.Name}
+	if err := r.run(x, func(e emitted) error { return sinkEmit(sink, e) }); err != nil {
 		return err
 	}
 	return sink.End()

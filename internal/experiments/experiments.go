@@ -1,9 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (Table 1 and Figures 2-12). Each experiment streams its
-// rows through a RowSink (CSV, JSONL, or the in-memory Table) in
-// deterministic task order; the cmd/figures binary streams them to disk
-// and the root-level benchmarks print them during bench runs.
-// EXPERIMENTS.md records paper-vs-measured notes per figure.
 package experiments
 
 import (
@@ -61,6 +55,18 @@ type Scale struct {
 	// byte-identical either way (regression-tested); the knob exists
 	// for A/B validation and memory-constrained paper-scale runs.
 	NoWorkloadReuse bool
+	// Shard restricts a run to the subset of rows whose global index
+	// this shard owns (index mod Shard.Count == Shard.Index), so N
+	// independent processes split one sweep. The union of the shards'
+	// rows is bit-identical to the unsharded stream for any Count,
+	// mirroring the Parallelism guarantee; MergeShards reassembles it.
+	// The zero value means unsharded.
+	Shard Shard
+	// Resume replays rows recorded in a prior (interrupted) run's
+	// journal instead of recomputing them. Open the journal with
+	// ResumeJournal and also attach it as a JournalSink so fresh rows
+	// keep checkpointing. Nil disables resumption.
+	Resume *Journal
 }
 
 // SmallScale returns the fast configuration (~1/10 of the paper).
@@ -111,7 +117,20 @@ func (s Scale) validate() error {
 	if s.RefineBudget < 0 {
 		return fmt.Errorf("%w: RefineBudget=%d", ErrBadScale, s.RefineBudget)
 	}
-	return nil
+	return s.Shard.validate()
+}
+
+// Fingerprint summarizes every scale field that determines the row
+// stream — everything except Parallelism, which by the determinism
+// contract cannot change any row. Journals are stamped with it so a
+// resume at a different scale (which would silently splice two
+// incompatible row sets) fails instead.
+func (s Scale) Fingerprint() string {
+	return fmt.Sprintf(
+		"objects=%d requests=%d runs=%d seed=%d fractions=%v alpha=%v e=%v sigma=%v trace=%d/%d refine=%d noreuse=%v shard=%s",
+		s.Objects, s.Requests, s.Runs, s.Seed, s.CacheFractions, s.AlphaSweep,
+		s.ESweep, s.SigmaSweep, s.TraceEntries, s.TraceServers,
+		s.RefineBudget, s.NoWorkloadReuse, s.Shard)
 }
 
 func (s Scale) workload() workload.Config {

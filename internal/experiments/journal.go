@@ -1,0 +1,363 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// The checkpoint journal: a JSONL file of completed row keys and
+// payloads that makes long sweeps resumable. Every row that flows
+// through a JournalSink is appended (and flushed) as a
+// {"type":"row","table":...,"index":...,"row":[...]} record — the key
+// is (table name, global row index), the payload is the rendered row,
+// and adaptive-sweep rows additionally carry the full-precision
+// refinement metric so resumed refinement ranks intervals on exactly
+// the values a fresh run would compute. A sweep restarted with the
+// journal as Scale.Resume replays journaled rows instead of
+// re-simulating them, so an interrupted run finishes from where it
+// died; a journal truncated mid-line by a kill is trimmed back to its
+// last complete record on open.
+
+// ErrJournalMismatch reports a resume journal whose recorded scale
+// fingerprint differs from the scale of the resuming run.
+var ErrJournalMismatch = errors.New("experiments: journal written at a different scale")
+
+// journalRow is one completed row held in memory: the rendered payload
+// plus the refinement metric for adaptive-sweep rows.
+type journalRow struct {
+	row       []string
+	metric    float64
+	hasMetric bool
+}
+
+// journalTable is the completed-row set of one table. next is one past
+// the highest recorded index, maintained on every insert so direct
+// (non-engine) Row appends stay O(1).
+type journalTable struct {
+	header []string
+	rows   map[int]journalRow
+	next   int
+}
+
+// journalHeaderRecord is the first line of a journal: the scale
+// fingerprint that guards resumes against mixing incompatible runs.
+type journalHeaderRecord struct {
+	Type        string `json:"type"` // "journal"
+	Fingerprint string `json:"fingerprint"`
+}
+
+// journalRowRecord is the on-disk form of one completed row. It is a
+// superset of jsonlRowRecord, so journals and JSONL sink outputs share
+// one line grammar (and MergeShards can read either).
+type journalRowRecord struct {
+	Type   string   `json:"type"` // "row"
+	Table  string   `json:"table"`
+	Index  int      `json:"index"`
+	Row    []string `json:"row"`
+	Metric *float64 `json:"metric,omitempty"`
+}
+
+// Journal is the checkpoint store of one sweep process: the in-memory
+// index of completed rows loaded from a prior run (consulted via
+// Scale.Resume) plus the append side written through JournalSink. All
+// methods are safe for concurrent use; one journal may span many
+// experiments (rows are keyed by table name and global row index).
+type Journal struct {
+	mu          sync.Mutex
+	f           *os.File // nil for a read-only (in-memory) journal
+	w           *bufio.Writer
+	fingerprint string
+	tables      map[string]*journalTable
+}
+
+// CreateJournal starts a fresh journal at path and stamps it with the
+// scale fingerprint. It refuses to overwrite an existing non-empty
+// journal — the likeliest cause is an operator re-running a crashed
+// sweep without -resume, and truncating the checkpoint would destroy
+// exactly the progress it exists to protect. Resume it, or remove the
+// file to genuinely start over.
+func CreateJournal(path, fingerprint string) (*Journal, error) {
+	if st, err := os.Stat(path); err == nil && st.Size() > 0 {
+		return nil, fmt.Errorf("experiments: journal %s already holds records; pass -resume to continue it or remove it to start over", path)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, w: bufio.NewWriter(f), fingerprint: fingerprint, tables: map[string]*journalTable{}}
+	if err := j.writeLine(journalHeaderRecord{Type: "journal", Fingerprint: fingerprint}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// ResumeJournal opens the journal at path for a resumed run: completed
+// records are loaded (a trailing record left incomplete by a kill is
+// discarded and the file truncated back to the last complete line), the
+// recorded fingerprint is checked against the resuming scale's, and the
+// file is left positioned for appending new rows. A missing file is not
+// an error — the resume simply has nothing to skip.
+func ResumeJournal(path, fingerprint string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, w: bufio.NewWriter(f), fingerprint: fingerprint, tables: map[string]*journalTable{}}
+	complete, fresh, err := j.load(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Trim a partial trailing record so appended records start on their
+	// own line, then position writes at the new end.
+	if err := f.Truncate(complete); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(complete, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fresh {
+		if err := j.writeLine(journalHeaderRecord{Type: "journal", Fingerprint: fingerprint}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// load parses every complete record from r, returning the byte offset
+// just past the last complete line and whether the journal was empty
+// (needs a fresh fingerprint stamp).
+func (j *Journal) load(r io.Reader) (complete int64, fresh bool, err error) {
+	br := bufio.NewReader(r)
+	fresh = true
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			// No trailing newline: the final record was cut mid-write.
+			return complete, fresh, nil
+		}
+		if err != nil {
+			return 0, false, err
+		}
+		if err := j.apply(line); err != nil {
+			return 0, false, err
+		}
+		fresh = false
+		complete += int64(len(line))
+	}
+}
+
+// apply folds one journal line into the in-memory state.
+func (j *Journal) apply(line []byte) error {
+	var kind struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(line, &kind); err != nil {
+		return fmt.Errorf("experiments: corrupt journal line %q: %w", line, err)
+	}
+	switch kind.Type {
+	case "journal":
+		var h journalHeaderRecord
+		if err := json.Unmarshal(line, &h); err != nil {
+			return err
+		}
+		if h.Fingerprint != j.fingerprint {
+			return fmt.Errorf("%w: journal has %q, run has %q",
+				ErrJournalMismatch, h.Fingerprint, j.fingerprint)
+		}
+	case "table":
+		var t jsonlTableRecord
+		if err := json.Unmarshal(line, &t); err != nil {
+			return err
+		}
+		j.table(t.Name).header = t.Header
+	case "row":
+		var r journalRowRecord
+		if err := json.Unmarshal(line, &r); err != nil {
+			return err
+		}
+		jr := journalRow{row: r.Row}
+		if r.Metric != nil {
+			jr.metric, jr.hasMetric = *r.Metric, true
+		}
+		t := j.table(r.Table)
+		t.rows[r.Index] = jr
+		if r.Index >= t.next {
+			t.next = r.Index + 1
+		}
+	default:
+		return fmt.Errorf("experiments: unknown journal record type %q", kind.Type)
+	}
+	return nil
+}
+
+// table returns (creating if needed) the per-table state. Callers hold
+// j.mu or run before any concurrency starts.
+func (j *Journal) table(name string) *journalTable {
+	t := j.tables[name]
+	if t == nil {
+		t = &journalTable{rows: map[int]journalRow{}}
+		j.tables[name] = t
+	}
+	return t
+}
+
+// writeLine marshals one record and flushes it to disk, so a kill loses
+// at most the record being written.
+func (j *Journal) writeLine(v any) error {
+	if j.f == nil {
+		return nil
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return j.w.Flush()
+}
+
+// replay looks up the completed row at (tableName, index) from the
+// loaded journal. Nil-safe on a nil receiver (no journal = no skips).
+func (j *Journal) replay(tableName string, index int) (journalRow, bool) {
+	if j == nil {
+		return journalRow{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	t := j.tables[tableName]
+	if t == nil {
+		return journalRow{}, false
+	}
+	r, ok := t.rows[index]
+	return r, ok
+}
+
+// CompletedRows reports how many rows the journal holds for the named
+// table — what a resume will skip.
+func (j *Journal) CompletedRows(tableName string) int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	t := j.tables[tableName]
+	if t == nil {
+		return 0
+	}
+	return len(t.rows)
+}
+
+// beginTable records the table identity (header validation on merge and
+// resume debugging; replay does not require it).
+func (j *Journal) beginTable(meta TableMeta) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if t := j.tables[meta.Name]; t != nil && t.header != nil {
+		return nil // resumed table already declared in the prior run
+	}
+	j.table(meta.Name).header = meta.Header
+	return j.writeLine(jsonlTableRecord{Type: "table", Name: meta.Name, Note: meta.Note, Header: meta.Header})
+}
+
+// record appends one completed row. Rows already present — replays of a
+// prior run's work — are not rewritten, so a resumed journal stays
+// duplicate-free.
+func (j *Journal) record(tableName string, e emitted) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	t := j.table(tableName)
+	if _, ok := t.rows[e.index]; ok {
+		return nil
+	}
+	jr := journalRow{row: e.row, metric: e.metric, hasMetric: e.hasMetric}
+	t.rows[e.index] = jr
+	if e.index >= t.next {
+		t.next = e.index + 1
+	}
+	rec := journalRowRecord{Type: "row", Table: tableName, Index: e.index, Row: e.row}
+	if e.hasMetric {
+		m := e.metric
+		rec.Metric = &m
+	}
+	return j.writeLine(rec)
+}
+
+// recordNext appends a row under one past the table's highest recorded
+// index, holding the lock across the index choice and the write so
+// concurrent direct Row calls cannot collide (and sparse index sets —
+// a resumed sharded journal — are never silently overwritten).
+func (j *Journal) recordNext(tableName string, row []string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	t := j.table(tableName)
+	next := t.next
+	t.rows[next] = journalRow{row: row}
+	t.next = next + 1
+	return j.writeLine(journalRowRecord{Type: "row", Table: tableName, Index: next, Row: row})
+}
+
+// Close flushes and closes the underlying file.
+func (j *Journal) Close() error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// JournalSink is the journaling RowSink: every row streamed through it
+// is appended to the journal before (conceptually alongside) reaching
+// the run's other sinks — compose it with them via MultiSink. Rows the
+// engine replayed from the same journal are recognized by key and not
+// rewritten.
+type JournalSink struct {
+	j     *Journal
+	table string
+}
+
+// NewJournalSink wraps a journal as a RowSink.
+func NewJournalSink(j *Journal) *JournalSink {
+	return &JournalSink{j: j}
+}
+
+// Begin declares the table in the journal.
+func (s *JournalSink) Begin(meta TableMeta) error {
+	s.table = meta.Name
+	return s.j.beginTable(meta)
+}
+
+// Row journals a row without engine context, assigning the next unused
+// index. The engine path (emitRow) supplies true global indices; this
+// variant keeps JournalSink a complete RowSink for direct use.
+func (s *JournalSink) Row(row []string) error {
+	return s.j.recordNext(s.table, row)
+}
+
+// emitRow journals one engine-emitted row under its global index.
+func (s *JournalSink) emitRow(e emitted) error {
+	return s.j.record(s.table, e)
+}
+
+// End flushes the journal (records are flushed per line already).
+func (s *JournalSink) End() error {
+	if s.j.f == nil {
+		return nil
+	}
+	s.j.mu.Lock()
+	defer s.j.mu.Unlock()
+	return s.j.w.Flush()
+}

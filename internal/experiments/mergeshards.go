@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+)
+
+// MergeShards reassembles one experiment's canonical row stream from
+// the per-shard JSONL outputs (or journals) of a sharded sweep. Each
+// part must describe the same table; rows are keyed by their global
+// index. The merge validates the union — duplicate indices (two shards
+// claiming one row) and gaps (a shard's output missing or incomplete)
+// are errors, so a merged table is guaranteed to be exactly the
+// unsharded stream — and then replays it through sink in index order,
+// making the merged CSV/JSONL byte-identical to a single-process run.
+func MergeShards(parts []io.Reader, sink RowSink) error {
+	if len(parts) == 0 {
+		return fmt.Errorf("experiments: merge of zero shard outputs")
+	}
+	var (
+		meta    TableMeta
+		haveTab bool
+		rows    = map[int]journalRow{}
+	)
+	for p, part := range parts {
+		sc := bufio.NewScanner(part)
+		sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var kind struct {
+				Type string `json:"type"`
+			}
+			if err := json.Unmarshal(line, &kind); err != nil {
+				return fmt.Errorf("experiments: shard %d: corrupt record %q: %w", p, line, err)
+			}
+			switch kind.Type {
+			case "journal":
+				// A journal's fingerprint stamp; merge inputs need not
+				// share one process's fingerprint, only one table.
+			case "table":
+				var t jsonlTableRecord
+				if err := json.Unmarshal(line, &t); err != nil {
+					return fmt.Errorf("experiments: shard %d: %w", p, err)
+				}
+				m := TableMeta{Name: t.Name, Note: t.Note, Header: t.Header}
+				if !haveTab {
+					meta, haveTab = m, true
+				} else if meta.Name != m.Name || !slices.Equal(meta.Header, m.Header) {
+					return fmt.Errorf("experiments: shard %d describes table %q, merge began with %q",
+						p, m.Name, meta.Name)
+				}
+			case "row":
+				var r journalRowRecord
+				if err := json.Unmarshal(line, &r); err != nil {
+					return fmt.Errorf("experiments: shard %d: %w", p, err)
+				}
+				if !haveTab {
+					return fmt.Errorf("experiments: shard %d has a row before any table record", p)
+				}
+				if r.Table != meta.Name {
+					return fmt.Errorf("experiments: shard %d row belongs to table %q, merging %q",
+						p, r.Table, meta.Name)
+				}
+				if _, dup := rows[r.Index]; dup {
+					return fmt.Errorf("experiments: duplicate row index %d (shard %d)", r.Index, p)
+				}
+				jr := journalRow{row: r.Row}
+				if r.Metric != nil {
+					jr.metric, jr.hasMetric = *r.Metric, true
+				}
+				rows[r.Index] = jr
+			default:
+				return fmt.Errorf("experiments: shard %d: unknown record type %q", p, kind.Type)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("experiments: shard %d: %w", p, err)
+		}
+	}
+	if !haveTab {
+		return fmt.Errorf("experiments: merge inputs carry no table record")
+	}
+	for i := 0; i < len(rows); i++ {
+		if _, ok := rows[i]; !ok {
+			return fmt.Errorf("experiments: gap in merged rows at index %d (have %d rows; a shard output is missing or incomplete)",
+				i, len(rows))
+		}
+	}
+	if err := sink.Begin(meta); err != nil {
+		return err
+	}
+	for i := 0; i < len(rows); i++ {
+		r := rows[i]
+		e := emitted{index: i, row: r.row, metric: r.metric, hasMetric: r.hasMetric}
+		if err := sinkEmit(sink, e); err != nil {
+			return err
+		}
+	}
+	return sink.End()
+}

@@ -64,9 +64,14 @@ type axisPoint struct {
 
 // evalOrdered evaluates the given axis values over the worker pool,
 // emitting each row (tagged with source) in slice order and returning
-// the completed points. Fail-fast semantics match streamTasks.
-func (a *adaptiveSweep) evalOrdered(parallelism int, xs []float64, source string,
-	emit func(row []string) error) ([]axisPoint, error) {
+// the completed points. Global row indices are base..base+len(xs)-1 in
+// slice order. Every point is evaluated regardless of shard ownership —
+// refinement decisions need the full metric curve — but only owned rows
+// are emitted, and points whose row (with metric) is in the resume
+// journal are replayed instead of simulated. Fail-fast semantics match
+// streamTasks.
+func (a *adaptiveSweep) evalOrdered(x exec, xs []float64, base int, source string,
+	emit func(e emitted) error) ([]axisPoint, error) {
 
 	type eval struct {
 		row    []string
@@ -78,17 +83,26 @@ func (a *adaptiveSweep) evalOrdered(parallelism int, xs []float64, source string
 	// (the coarse pass) does not oversubscribe them P x P.
 	inner := 1
 	if len(xs) > 0 {
-		if inner = parallelism / len(xs); inner < 1 {
+		if inner = x.parallelism / len(xs); inner < 1 {
 			inner = 1
 		}
 	}
 	pts := make([]axisPoint, 0, len(xs))
-	err := streamOrdered(parallelism, len(xs), func(i int) (eval, error) {
+	err := streamOrdered(x.parallelism, len(xs), func(i int) (eval, error) {
+		// Journaled rows carry the rendered payload (source cell
+		// included) and the exact metric; nothing to recompute. Only
+		// owned rows are journaled, so foreign points re-simulate.
+		if r, ok := x.replay(base + i); ok && r.hasMetric {
+			return eval{row: r.row, metric: r.metric}, nil
+		}
 		row, metric, err := a.point(xs[i], inner)
-		return eval{row: row, metric: metric}, err
+		return eval{row: append(row, source), metric: metric}, err
 	}, func(i int, v eval) error {
-		if err := emit(append(v.row, source)); err != nil {
-			return err
+		if x.shard.owns(base + i) {
+			e := emitted{index: base + i, row: v.row, metric: v.metric, hasMetric: true}
+			if err := emit(e); err != nil {
+				return err
+			}
 		}
 		pts = append(pts, axisPoint{x: xs[i], metric: v.metric})
 		return nil
@@ -99,14 +113,15 @@ func (a *adaptiveSweep) evalOrdered(parallelism int, xs []float64, source string
 	return pts, nil
 }
 
-func (a *adaptiveSweep) run(parallelism int, emit func(row []string) error) error {
+func (a *adaptiveSweep) run(x exec, emit func(e emitted) error) error {
 	// Coarse pass: the full axis, streamed in grid order. Refinement
 	// cannot begin before every coarse row has landed (its decisions are
 	// keyed on the complete coarse response curve).
-	points, err := a.evalOrdered(parallelism, a.axis, "coarse", emit)
+	points, err := a.evalOrdered(x, a.axis, 0, "coarse", emit)
 	if err != nil {
 		return err
 	}
+	nextIndex := len(a.axis)
 	if len(a.axis) < 2 || a.budget <= 0 {
 		return nil
 	}
@@ -155,10 +170,11 @@ func (a *adaptiveSweep) run(parallelism int, emit func(row []string) error) erro
 		for i := 0; i < k; i++ {
 			mids[i] = (xs[candidates[i].left] + xs[candidates[i].left+1]) / 2
 		}
-		refined, err := a.evalOrdered(parallelism, mids, "refined", emit)
+		refined, err := a.evalOrdered(x, mids, nextIndex, "refined", emit)
 		if err != nil {
 			return err
 		}
+		nextIndex += k
 		points = append(points, refined...)
 		slices.SortFunc(points, func(a, b axisPoint) int { return cmp.Compare(a.x, b.x) })
 		remaining -= k

@@ -37,6 +37,38 @@ type RowSink interface {
 	End() error
 }
 
+// IndexedSink is an optional RowSink extension: sinks that implement it
+// receive each row together with its global index — the row's position
+// in the unsharded deterministic stream, which is the stable key of the
+// sharding and journaling subsystems. The engine calls IndexedRow
+// instead of Row when a sink implements it; in an unsharded run the
+// indices are the contiguous sequence 0, 1, 2, ..., while a sharded run
+// delivers only the shard-owned subset (with gaps MergeShards later
+// closes).
+type IndexedSink interface {
+	RowSink
+	IndexedRow(index int, row []string) error
+}
+
+// engineSink is the in-package superset of IndexedSink: the journal
+// additionally records the refinement metric of adaptive-sweep rows.
+type engineSink interface {
+	emitRow(e emitted) error
+}
+
+// sinkEmit delivers one engine-emitted row to a sink through the richest
+// interface it implements.
+func sinkEmit(sink RowSink, e emitted) error {
+	switch t := sink.(type) {
+	case engineSink:
+		return t.emitRow(e)
+	case IndexedSink:
+		return t.IndexedRow(e.index, e.row)
+	default:
+		return sink.Row(e.row)
+	}
+}
+
 // TableSink buffers a streamed experiment into an in-memory Table — the
 // old aggregate contract expressed as a sink. The zero value is ready
 // to use.
@@ -104,7 +136,10 @@ func (c *CSVSink) Rows() int { return c.rows }
 // JSONLSink streams a table as JSON Lines: one "table" record carrying
 // name/note/header, then one "row" record per row. Field order is fixed
 // by the record structs, so the byte stream is deterministic for a
-// deterministic row stream.
+// deterministic row stream. Engine-streamed rows carry their global
+// index (see IndexedSink), which makes per-shard JSONL files the merge
+// units of sharded sweeps; rows pushed via plain Row are numbered by a
+// local counter.
 type JSONLSink struct {
 	w     *bufio.Writer
 	table string
@@ -148,11 +183,16 @@ func (j *JSONLSink) Begin(meta TableMeta) error {
 	return j.writeLine(jsonlTableRecord{Type: "table", Name: meta.Name, Note: meta.Note, Header: meta.Header})
 }
 
-// Row writes one row record.
+// Row writes one row record under the next locally counted index.
 func (j *JSONLSink) Row(row []string) error {
 	rec := jsonlRowRecord{Type: "row", Table: j.table, Index: j.index, Row: row}
 	j.index++
 	return j.writeLine(rec)
+}
+
+// IndexedRow writes one row record under its global index.
+func (j *JSONLSink) IndexedRow(index int, row []string) error {
+	return j.writeLine(jsonlRowRecord{Type: "row", Table: j.table, Index: index, Row: row})
 }
 
 // End flushes any buffered output.
@@ -176,6 +216,18 @@ func (m MultiSink) Begin(meta TableMeta) error {
 func (m MultiSink) Row(row []string) error {
 	for _, s := range m {
 		if err := s.Row(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitRow forwards an engine-emitted row to every sink through the
+// richest interface each implements, so one fan-out can mix plain,
+// indexed and journaling sinks.
+func (m MultiSink) emitRow(e emitted) error {
+	for _, s := range m {
+		if err := sinkEmit(s, e); err != nil {
 			return err
 		}
 	}

@@ -1,11 +1,3 @@
-// Package par provides the bounded fan-out primitives shared by the
-// simulation engine (parallel replications in sim.Run) and the
-// experiment engine (parallel sweep points in internal/experiments).
-// Determinism is the caller's contract: with For, fn writes only to
-// its own index-addressed slot and callers aggregate slots in index
-// order afterwards; with ForOrdered, a reorder buffer delivers results
-// to the emit callback in strict index order as workers finish out of
-// order. Either way results never depend on worker count or schedule.
 package par
 
 import (

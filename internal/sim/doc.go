@@ -1,0 +1,39 @@
+// Package sim drives the partial-caching algorithms with synthetic
+// workloads and bandwidth models, reproducing the evaluation methodology
+// of Sections 3-4: each run warms the cache with the first half of the
+// workload and computes metrics over the second half; reported results
+// average several independently seeded runs (the paper uses ten).
+//
+// Metrics follow Section 3.3:
+//
+//   - traffic reduction ratio: fraction of requested bytes served by the cache
+//   - average service delay: mean client wait before playout can begin
+//   - average stream quality: mean fraction of the stream immediate playout sustains
+//   - total added value: summed object values of immediately-servable requests
+//
+// # Determinism contract
+//
+// Run results are a pure function of Config minus Parallelism. Every
+// source of randomness in a run — the workload, the path-mean
+// assignment, per-request bandwidth samples, estimator jitter — derives
+// from Config.Seed through SplitSeed (a SplitMix64 expansion), with one
+// independent stream per replicated run, so Metrics are bit-identical
+// for every Config.Parallelism value and goroutine schedule. This is
+// what lets the experiments layer key a row by nothing more than its
+// position in the sweep grid: re-running the config at that position —
+// on any machine, any worker count, any sweep shard — regenerates the
+// identical row, which is the foundation of the sharding, journaling
+// and resume subsystems in internal/experiments.
+//
+// # Arena immutability contract
+//
+// An Arena memoizes workloads, their core.Object conversions, and
+// per-path mean-bandwidth assignments across the runs and sweep points
+// of one experiment, keyed strictly by the inputs that determine them —
+// a memoized run is bit-identical to a fresh one. Everything the arena
+// hands out is immutable and shared across goroutines: callers (and
+// policies they configure) must not mutate a returned Workload,
+// []core.Object or []float64, and must not retain them past the arena's
+// lifetime if they need them to be collectable. Use one arena per
+// experiment and drop it afterwards.
+package sim

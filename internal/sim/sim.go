@@ -1,15 +1,3 @@
-// Package sim drives the partial-caching algorithms with synthetic
-// workloads and bandwidth models, reproducing the evaluation methodology
-// of Sections 3-4: each run warms the cache with the first half of the
-// workload and computes metrics over the second half; reported results
-// average several independently seeded runs (the paper uses ten).
-//
-// Metrics follow Section 3.3:
-//
-//   - traffic reduction ratio: fraction of requested bytes served by the cache
-//   - average service delay: mean client wait before playout can begin
-//   - average stream quality: mean fraction of the stream immediate playout sustains
-//   - total added value: summed object values of immediately-servable requests
 package sim
 
 import (

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Checks that every relative Markdown link in the docs set points at a
+# file that exists (external http(s) links and pure #anchors are
+# skipped). Run from the repo root; `make docs-check` and the CI docs
+# job both call this.
+set -euo pipefail
+
+docs=(README.md DESIGN.md EXPERIMENTS.md OPERATIONS.md ROADMAP.md PAPER.md CHANGES.md)
+failed=0
+
+for doc in "${docs[@]}"; do
+    if [[ ! -f "$doc" ]]; then
+        echo "MISSING DOC: $doc" >&2
+        failed=1
+        continue
+    fi
+    # Extract [text](target) link targets, one per line.
+    while IFS= read -r target; do
+        [[ -z "$target" ]] && continue
+        case "$target" in
+        http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        # Strip an optional link title (`(path "title")`) and a trailing
+        # #anchor from file links.
+        path="${target%%[[:space:]]*}"
+        path="${path%%#*}"
+        if [[ ! -e "$path" ]]; then
+            echo "BROKEN LINK: $doc -> $target" >&2
+            failed=1
+        fi
+    done < <(awk '/^```/{fence=!fence; next} !fence' "$doc" |
+        grep -oE '\[[^]]*\]\([^)]+\)' | sed -E 's/\[[^]]*\]\(([^)]+)\)/\1/')
+done
+
+if [[ $failed -ne 0 ]]; then
+    echo "docs-check: broken links found" >&2
+    exit 1
+fi
+echo "docs-check: all relative links resolve"
