@@ -4,16 +4,17 @@ GO ?= go
 SHELL := /bin/bash
 
 # Benchmarks measured by bench-json. Covers the sweep engine (memoized
-# workload arena vs the unmemoized A/B control), the run-level pool, and
-# the zero-allocation cache hot path.
-BENCH_PATTERN ?= BenchmarkSweepSequential|BenchmarkSweepParallel8|BenchmarkSweepUnmemoized|BenchmarkSimRunParallelism|BenchmarkCacheOpThroughput|BenchmarkAccess|BenchmarkWorkloadGeneration
+# workload arena vs the unmemoized A/B control), the run-level pool, the
+# zero-allocation cache hot path, and the sharded live proxy tier
+# (serialized shards=1 vs sharded shards=8 throughput).
+BENCH_PATTERN ?= BenchmarkSweepSequential|BenchmarkSweepParallel8|BenchmarkSweepUnmemoized|BenchmarkSimRunParallelism|BenchmarkCacheOpThroughput|BenchmarkAccess|BenchmarkWorkloadGeneration|BenchmarkProxyServe
 # Override with BENCHTIME=1x for a CI smoke run; the default gives
 # stable numbers locally.
 BENCHTIME ?= 2s
 BENCH_JSON ?= BENCH.json
 BENCH_BASELINE ?=
 
-.PHONY: all ci vet build test race bench bench-smoke bench-json fuzz-smoke figures docs-check shard-check clean
+.PHONY: all ci vet build test race bench bench-smoke bench-json fuzz-smoke figures docs-check shard-check proxy-check clean
 
 all: ci
 
@@ -49,7 +50,7 @@ bench:
 ## a committed trajectory file.
 bench-json:
 	set -o pipefail; \
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCHTIME) . ./internal/core/ \
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime $(BENCHTIME) . ./internal/core/ ./internal/proxy/ \
 		| $(GO) run ./cmd/benchjson -out $(BENCH_JSON) \
 			$(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE)) \
 			$(if $(BENCH_NOTE),-note '$(BENCH_NOTE)')
@@ -81,6 +82,12 @@ shard-check:
 	done
 	@echo "shard-check: merged shard output is byte-identical to the single-process run"
 	rm -rf shard-check
+
+## proxy-check: live-tier smoke — start a sharded proxyd, run loadgen
+## against it, assert a nonzero prefix-hit ratio and a clean SIGTERM
+## drain (OPERATIONS.md §8).
+proxy-check:
+	bash scripts/proxy-check.sh
 
 clean:
 	rm -rf results shard-check

@@ -1,0 +1,405 @@
+// Command loadgen is the closed-loop load harness for proxyd: it
+// regenerates the same Table 1 catalog the server built, drives the
+// Zipf request trace against the proxy with N concurrent closed-loop
+// clients (each issues its next request as soon as the previous
+// download completes), and reports the paper's live metrics — the
+// startup delay distribution, the bandwidth-weighted hit ratio (the
+// live traffic reduction ratio), and origin bytes — as a
+// RowSink-compatible table (CSV or JSONL), so live points can be laid
+// over the simulator's curves by the same tooling that plots them.
+//
+//	proxyd -proxy-addr 127.0.0.1:8081 -objects 50 &
+//	loadgen -proxy http://127.0.0.1:8081 -clients 8 -requests 500 -objects 50
+//
+// Catalog flags (-objects, -mean-kb, -rate-kbps, -catalog-seed) must
+// match the running proxyd so object sizes and playback rates agree.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamcache/internal/experiments"
+	"streamcache/internal/proxy"
+	"streamcache/internal/units"
+	"streamcache/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	proxyURL    string
+	clients     int
+	requests    int
+	objects     int
+	meanKB      int64
+	rateKBps    float64
+	catalogSeed int64
+	zipfAlpha   float64
+	traceSeed   int64
+	format      string
+	out         string
+	perRequest  string
+	wait        time.Duration
+	minHitRatio float64
+	verify      bool
+}
+
+func run() error {
+	var o options
+	flag.StringVar(&o.proxyURL, "proxy", "http://127.0.0.1:8081", "proxy base URL")
+	flag.IntVar(&o.clients, "clients", 4, "concurrent closed-loop clients")
+	flag.IntVar(&o.requests, "requests", 200, "total requests to issue")
+	flag.IntVar(&o.objects, "objects", 50, "catalog size (must match proxyd)")
+	flag.Int64Var(&o.meanKB, "mean-kb", 2048, "mean object size, KB (must match proxyd)")
+	flag.Float64Var(&o.rateKBps, "rate-kbps", 512, "object playback rate, KB/s (must match proxyd)")
+	flag.Int64Var(&o.catalogSeed, "catalog-seed", 1, "catalog seed (must match proxyd -seed)")
+	flag.Float64Var(&o.zipfAlpha, "zipf", 0.73, "request popularity skew")
+	flag.Int64Var(&o.traceSeed, "trace-seed", 1, "request trace seed")
+	flag.StringVar(&o.format, "format", "csv", "output format: csv or jsonl")
+	flag.StringVar(&o.out, "out", "-", "summary table destination ('-' = stdout)")
+	flag.StringVar(&o.perRequest, "per-request", "", "optional per-request table destination")
+	flag.DurationVar(&o.wait, "wait", 10*time.Second, "wait up to this long for the proxy to become reachable")
+	flag.Float64Var(&o.minHitRatio, "min-hit-ratio", -1, "exit nonzero unless the bandwidth-weighted hit ratio reaches this (-1 = no check)")
+	flag.BoolVar(&o.verify, "verify", false, "verify every complete download against the expected content digest")
+	flag.Parse()
+	if o.clients <= 0 || o.requests <= 0 {
+		return fmt.Errorf("clients=%d requests=%d, want > 0", o.clients, o.requests)
+	}
+	return drive(o)
+}
+
+// result records one completed client fetch.
+type result struct {
+	objectID int
+	bytes    int64
+	hitBytes int64
+	delay    time.Duration
+	elapsed  time.Duration
+	err      error
+}
+
+func drive(o options) error {
+	catalog, err := proxy.BuildCatalog(o.objects, o.meanKB, o.rateKBps, o.catalogSeed)
+	if err != nil {
+		return err
+	}
+	trace, err := workload.Generate(workload.Config{
+		NumObjects:  o.objects,
+		NumRequests: o.requests,
+		ZipfAlpha:   o.zipfAlpha,
+		Seed:        o.traceSeed,
+	})
+	if err != nil {
+		return err
+	}
+	if err := waitReachable(o.proxyURL, o.wait); err != nil {
+		return err
+	}
+	before, err := fetchStats(o.proxyURL)
+	if err != nil {
+		return fmt.Errorf("stats before run: %w", err)
+	}
+
+	// Closed loop: each client pulls the next trace index the moment its
+	// previous download finishes.
+	results := make([]result, o.requests)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wallStart := time.Now()
+	for c := 0; c < o.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= o.requests {
+					return
+				}
+				results[i] = fetchOne(o, catalog, trace.Requests[i].ObjectID)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(wallStart)
+
+	after, err := fetchStats(o.proxyURL)
+	if err != nil {
+		return fmt.Errorf("stats after run: %w", err)
+	}
+	sum := summarize(results, before, after, wall)
+
+	if err := emitSummary(o, sum); err != nil {
+		return err
+	}
+	if o.perRequest != "" {
+		if err := emitPerRequest(o, results); err != nil {
+			return err
+		}
+	}
+	if sum.errors == o.requests {
+		return errors.New("every request failed")
+	}
+	if o.minHitRatio >= 0 && sum.bwHitRatio < o.minHitRatio {
+		return fmt.Errorf("bandwidth-weighted hit ratio %.4f below required %.4f", sum.bwHitRatio, o.minHitRatio)
+	}
+	return nil
+}
+
+func fetchOne(o options, catalog *proxy.Catalog, id int) result {
+	meta, ok := catalog.Get(id)
+	if !ok {
+		return result{objectID: id, err: fmt.Errorf("object %d not in catalog", id)}
+	}
+	res, err := proxy.Fetch(fmt.Sprintf("%s/objects/%d", o.proxyURL, id))
+	if err != nil {
+		return result{objectID: id, err: err}
+	}
+	r := result{
+		objectID: id,
+		bytes:    res.Bytes,
+		hitBytes: res.HitBytes(),
+		delay:    res.StartupDelay(meta.Rate),
+		elapsed:  res.Elapsed,
+	}
+	if r.hitBytes > meta.Size {
+		r.hitBytes = meta.Size
+	}
+	if res.Bytes != meta.Size {
+		r.err = fmt.Errorf("object %d: %d bytes, want %d", id, res.Bytes, meta.Size)
+	} else if o.verify {
+		if want := proxy.ContentSHA256(id, meta.Size); res.SHA256 != want {
+			r.err = fmt.Errorf("object %d: content digest mismatch", id)
+		}
+	}
+	return r
+}
+
+// summary aggregates a run into the live metrics row.
+type summary struct {
+	errors         int
+	prefixHitRatio float64
+	bwHitRatio     float64
+	originBytes    int64
+	coalesced      int64
+	delayMean      time.Duration
+	delayP50       time.Duration
+	delayP90       time.Duration
+	delayP99       time.Duration
+	meanKBps       float64
+	wall           time.Duration
+}
+
+func summarize(results []result, before, after proxy.Stats, wall time.Duration) summary {
+	var (
+		s          = summary{wall: wall}
+		delays     []time.Duration
+		hits       int
+		hitBytes   float64
+		totalBytes float64
+		bytes      int64
+		delaySum   time.Duration
+		elapsedSum time.Duration
+	)
+	for _, r := range results {
+		if r.err != nil {
+			s.errors++
+			continue
+		}
+		if r.hitBytes > 0 {
+			hits++
+		}
+		hitBytes += float64(r.hitBytes)
+		totalBytes += float64(r.bytes)
+		bytes += r.bytes
+		delays = append(delays, r.delay)
+		delaySum += r.delay
+		elapsedSum += r.elapsed
+	}
+	ok := len(results) - s.errors
+	if ok > 0 {
+		s.prefixHitRatio = float64(hits) / float64(ok)
+		s.delayMean = delaySum / time.Duration(ok)
+	}
+	if totalBytes > 0 {
+		s.bwHitRatio = hitBytes / totalBytes
+	}
+	if elapsedSum > 0 {
+		s.meanKBps = units.ToKBps(float64(bytes) / elapsedSum.Seconds())
+	}
+	sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+	s.delayP50 = percentile(delays, 0.50)
+	s.delayP90 = percentile(delays, 0.90)
+	s.delayP99 = percentile(delays, 0.99)
+	s.originBytes = after.BytesFetched - before.BytesFetched
+	s.coalesced = after.CoalescedRequests - before.CoalescedRequests
+	return s
+}
+
+// percentile returns the p-th percentile of sorted (nearest-rank: the
+// smallest value with at least p*n values at or below it).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 2, 64)
+}
+
+func newSink(o options, w io.Writer) experiments.RowSink {
+	if o.format == "jsonl" {
+		return experiments.NewJSONLSink(w)
+	}
+	return experiments.NewCSVSink(w)
+}
+
+func openOut(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+func emitSummary(o options, s summary) error {
+	w, closeOut, err := openOut(o.out)
+	if err != nil {
+		return err
+	}
+	defer closeOut()
+	sink := newSink(o, w)
+	meta := experiments.TableMeta{
+		Name: "loadgen-live",
+		Note: fmt.Sprintf("closed-loop live metrics: %d clients x %d requests against %s (objects=%d zipf=%.2f)",
+			o.clients, o.requests, o.proxyURL, o.objects, o.zipfAlpha),
+		Header: []string{
+			"clients", "requests", "errors",
+			"prefix_hit_ratio", "bw_hit_ratio", "origin_bytes", "coalesced",
+			"delay_mean_ms", "delay_p50_ms", "delay_p90_ms", "delay_p99_ms",
+			"mean_throughput_kbps", "wall_seconds",
+		},
+	}
+	if err := sink.Begin(meta); err != nil {
+		return err
+	}
+	row := []string{
+		strconv.Itoa(o.clients),
+		strconv.Itoa(o.requests),
+		strconv.Itoa(s.errors),
+		strconv.FormatFloat(s.prefixHitRatio, 'f', 4, 64),
+		strconv.FormatFloat(s.bwHitRatio, 'f', 4, 64),
+		strconv.FormatInt(s.originBytes, 10),
+		strconv.FormatInt(s.coalesced, 10),
+		ms(s.delayMean), ms(s.delayP50), ms(s.delayP90), ms(s.delayP99),
+		strconv.FormatFloat(s.meanKBps, 'f', 1, 64),
+		strconv.FormatFloat(s.wall.Seconds(), 'f', 3, 64),
+	}
+	if err := sink.Row(row); err != nil {
+		return err
+	}
+	if err := sink.End(); err != nil {
+		return err
+	}
+	return closeOut()
+}
+
+func emitPerRequest(o options, results []result) error {
+	w, closeOut, err := openOut(o.perRequest)
+	if err != nil {
+		return err
+	}
+	defer closeOut()
+	sink := newSink(o, w)
+	meta := experiments.TableMeta{
+		Name:   "loadgen-requests",
+		Note:   "one row per completed request, in trace order",
+		Header: []string{"index", "object", "bytes", "hit_bytes", "delay_ms", "elapsed_ms", "error"},
+	}
+	if err := sink.Begin(meta); err != nil {
+		return err
+	}
+	for i, r := range results {
+		errStr := ""
+		if r.err != nil {
+			errStr = r.err.Error()
+		}
+		row := []string{
+			strconv.Itoa(i),
+			strconv.Itoa(r.objectID),
+			strconv.FormatInt(r.bytes, 10),
+			strconv.FormatInt(r.hitBytes, 10),
+			ms(r.delay), ms(r.elapsed),
+			errStr,
+		}
+		if err := sink.Row(row); err != nil {
+			return err
+		}
+	}
+	if err := sink.End(); err != nil {
+		return err
+	}
+	return closeOut()
+}
+
+// waitReachable polls the proxy's /stats endpoint until it answers.
+func waitReachable(proxyURL string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		if _, err := fetchStats(proxyURL); err == nil {
+			return nil
+		} else if time.Now().After(deadline) {
+			return fmt.Errorf("proxy %s not reachable after %v: %w", proxyURL, wait, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// statsClient bounds every /stats probe so a wedged proxy cannot hang
+// waitReachable past its deadline.
+var statsClient = &http.Client{Timeout: 10 * time.Second}
+
+// fetchStats reads and decodes the proxy's /stats snapshot.
+func fetchStats(proxyURL string) (proxy.Stats, error) {
+	resp, err := statsClient.Get(proxyURL + "/stats")
+	if err != nil {
+		return proxy.Stats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return proxy.Stats{}, fmt.Errorf("stats: %s", resp.Status)
+	}
+	var s proxy.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return proxy.Stats{}, err
+	}
+	return s, nil
+}

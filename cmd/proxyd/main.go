@@ -1,24 +1,32 @@
 // Command proxyd runs the acceleration architecture of Figure 1 on two
 // local HTTP ports: a rate-limited origin server and, in front of it,
-// the partial-caching accelerator proxy. The catalog is generated from
-// the Table 1 workload model (scaled down by default).
+// the sharded partial-caching accelerator proxy. The catalog is
+// generated from the Table 1 workload model (scaled down by default).
 //
-//	proxyd -origin-addr :8080 -proxy-addr :8081 -policy PB -cache-mb 256 &
+//	proxyd -origin-addr :8080 -proxy-addr :8081 -policy PB -cache-mb 256 -shards 8 &
 //	curl -s http://localhost:8081/objects/0 | wc -c
 //	curl -s http://localhost:8081/stats
+//
+// On SIGTERM or SIGINT proxyd drains gracefully: it stops accepting
+// connections, waits for in-flight requests and origin transfers to
+// finish, prints a final stats snapshot, and exits 0.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"streamcache/internal/core"
 	"streamcache/internal/proxy"
 	"streamcache/internal/units"
-	"streamcache/internal/workload"
 )
 
 func main() {
@@ -34,16 +42,18 @@ func run() error {
 		proxyAddr  = flag.String("proxy-addr", "127.0.0.1:8081", "proxy listen address")
 		policyName = flag.String("policy", "PB", "cache policy: IF, PB, IB, PB-V, IB-V, LRU, LFU")
 		e          = flag.Float64("e", 0.5, "under-estimation factor for HYBRID policies")
-		cacheMB    = flag.Int64("cache-mb", 256, "proxy cache capacity, MB")
+		cacheMB    = flag.Int64("cache-mb", 256, "proxy cache capacity, MB (split across shards)")
+		shards     = flag.Int("shards", 1, "number of proxy shards (ID-hashed object partitions)")
 		objects    = flag.Int("objects", 50, "catalog size")
 		meanKB     = flag.Int64("mean-kb", 2048, "mean object size, KB")
 		rateKBps   = flag.Float64("rate-kbps", 512, "object playback rate, KB/s")
 		originKBps = flag.Float64("origin-kbps", 256, "origin path bandwidth limit, KB/s (0 = unlimited)")
 		seed       = flag.Int64("seed", 1, "random seed for the catalog")
+		drainSec   = flag.Float64("drain-timeout", 30, "graceful-drain timeout on SIGTERM, seconds")
 	)
 	flag.Parse()
 
-	catalog, err := buildCatalog(*objects, *meanKB, *rateKBps, *seed)
+	catalog, err := proxy.BuildCatalog(*objects, *meanKB, *rateKBps, *seed)
 	if err != nil {
 		return err
 	}
@@ -51,50 +61,89 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	policy, err := core.PolicyByName(*policyName, *e)
+	// Validate the policy spec once up front; each shard then builds its
+	// own instance (stateful policies such as GDS must not be shared).
+	if _, err := core.PolicyByName(*policyName, *e); err != nil {
+		return err
+	}
+	px, err := proxy.New(proxy.Config{
+		Catalog:    catalog,
+		OriginURL:  "http://" + *originAddr,
+		Shards:     *shards,
+		CacheBytes: *cacheMB * units.MB,
+		NewPolicy: func() core.Policy {
+			p, err := core.PolicyByName(*policyName, *e)
+			if err != nil {
+				// Unreachable: the spec was validated above.
+				panic(err)
+			}
+			return p
+		},
+	})
 	if err != nil {
 		return err
 	}
-	cache, err := core.New(*cacheMB*units.MB, policy)
+
+	originLn, err := net.Listen("tcp", *originAddr)
 	if err != nil {
-		return err
+		return fmt.Errorf("origin listen: %w", err)
 	}
-	px, err := proxy.NewProxy(catalog, cache, "http://"+*originAddr)
+	proxyLn, err := net.Listen("tcp", *proxyAddr)
 	if err != nil {
-		return err
+		originLn.Close()
+		return fmt.Errorf("proxy listen: %w", err)
 	}
+	originSrv := &http.Server{Handler: origin, ReadHeaderTimeout: 5 * time.Second}
+	proxySrv := &http.Server{Handler: px, ReadHeaderTimeout: 5 * time.Second}
 
 	errc := make(chan error, 2)
 	go func() {
 		fmt.Printf("origin  listening on %s (path limit %.0f KB/s, %d objects)\n",
-			*originAddr, *originKBps, catalog.Len())
-		errc <- (&http.Server{Addr: *originAddr, Handler: origin, ReadHeaderTimeout: 5 * time.Second}).ListenAndServe()
+			originLn.Addr(), *originKBps, catalog.Len())
+		errc <- originSrv.Serve(originLn)
 	}()
 	go func() {
-		fmt.Printf("proxy   listening on %s (policy %s, cache %d MB)\n",
-			*proxyAddr, policy.Name(), *cacheMB)
-		errc <- (&http.Server{Addr: *proxyAddr, Handler: px, ReadHeaderTimeout: 5 * time.Second}).ListenAndServe()
+		fmt.Printf("proxy   listening on %s (policy %s, cache %d MB, %d shards)\n",
+			proxyLn.Addr(), *policyName, *cacheMB, px.Shards())
+		errc <- proxySrv.Serve(proxyLn)
 	}()
-	return <-errc
-}
 
-// buildCatalog derives object sizes from the Table 1 lognormal model,
-// scaled so the mean object is meanKB.
-func buildCatalog(n int, meanKB int64, rateKBps float64, seed int64) (*proxy.Catalog, error) {
-	w, err := workload.Generate(workload.Config{NumObjects: n, NumRequests: 1, Seed: seed})
-	if err != nil {
-		return nil, err
-	}
-	meanBytes := float64(w.TotalUniqueBytes()) / float64(n)
-	scale := float64(meanKB*units.KB) / meanBytes
-	rate := units.KBps(rateKBps)
-	metas := make([]proxy.Meta, n)
-	for i, o := range w.Objects {
-		size := int64(float64(o.Size) * scale)
-		if size < 16*units.KB {
-			size = 16 * units.KB
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("proxyd: %v: draining...\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSec*float64(time.Second)))
+		defer cancel()
+		// Stop the proxy's client side first so no new joint deliveries
+		// start, then the origin (in-flight relays finish through it),
+		// then wait for relay reconciliation to settle.
+		if err := proxySrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "proxyd: proxy shutdown:", err)
 		}
-		metas[i] = proxy.Meta{ID: o.ID, Size: size, Rate: rate, Value: o.Value}
+		if err := originSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "proxyd: origin shutdown:", err)
+		}
+		// Quiesce within whatever remains of the drain window: the flag
+		// bounds the whole drain, so a stalled transfer cannot hold the
+		// process past it.
+		quiesced := make(chan struct{})
+		go func() {
+			px.Quiesce()
+			close(quiesced)
+		}()
+		select {
+		case <-quiesced:
+		case <-ctx.Done():
+			return fmt.Errorf("drain timed out after %gs with transfers still in flight", *drainSec)
+		}
+		out, err := json.Marshal(px.Snapshot())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("proxyd: drained; final stats: %s\n", out)
+		return nil
 	}
-	return proxy.NewCatalog(metas)
 }

@@ -1,0 +1,42 @@
+package core
+
+// Snapshot is a point-in-time occupancy summary of one cache. Unlike
+// Contents it costs O(1) and allocates nothing, so a sharded frontend
+// can take one per shard under that shard's lock without ever needing
+// exclusive access to the whole fleet — the concurrency seam the live
+// proxy tier composes its /stats aggregation from.
+type Snapshot struct {
+	Used     int64 // total cached bytes
+	Capacity int64 // configured capacity in bytes
+	Objects  int   // number of (partially) cached objects
+}
+
+// Snapshot returns the current occupancy summary. The caller must hold
+// whatever lock serializes Access on this cache (the Cache itself is not
+// internally synchronized).
+func (c *Cache) Snapshot() Snapshot {
+	return Snapshot{Used: c.used, Capacity: c.capacity, Objects: len(c.heap)}
+}
+
+// SplitCapacity divides total bytes across n shards as evenly as
+// possible: every shard gets total/n bytes and the first total%n shards
+// one extra, so the slice always sums exactly to total. It is the
+// capacity seam of the sharded proxy tier — each shard owns an
+// independent Cache over its slice of the byte budget, so shard-local
+// locks suffice for every placement decision. n <= 0 or a negative
+// total returns nil.
+func SplitCapacity(total int64, n int) []int64 {
+	if n <= 0 || total < 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	base := total / int64(n)
+	rem := total % int64(n)
+	for i := range out {
+		out[i] = base
+		if int64(i) < rem {
+			out[i]++
+		}
+	}
+	return out
+}

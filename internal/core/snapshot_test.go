@@ -1,0 +1,61 @@
+package core
+
+import "testing"
+
+func TestSnapshotTracksOccupancy(t *testing.T) {
+	c, err := New(1000, NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Snapshot()
+	if s.Used != 0 || s.Objects != 0 || s.Capacity != 1000 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+	c.Access(Object{ID: 1, Size: 400, Duration: 10, Rate: 40}, 0, 1)
+	c.Access(Object{ID: 2, Size: 300, Duration: 10, Rate: 30}, 0, 2)
+	s = c.Snapshot()
+	if s.Used != 700 || s.Objects != 2 || s.Capacity != 1000 {
+		t.Errorf("snapshot = %+v, want Used=700 Objects=2 Capacity=1000", s)
+	}
+	if s.Used != c.Used() || s.Objects != c.Len() || s.Capacity != c.Capacity() {
+		t.Error("snapshot disagrees with accessor methods")
+	}
+}
+
+func TestSplitCapacity(t *testing.T) {
+	tests := []struct {
+		total int64
+		n     int
+		want  []int64
+	}{
+		{100, 4, []int64{25, 25, 25, 25}},
+		{10, 3, []int64{4, 3, 3}},
+		{2, 4, []int64{1, 1, 0, 0}},
+		{0, 2, []int64{0, 0}},
+		{7, 1, []int64{7}},
+	}
+	for _, tt := range tests {
+		got := SplitCapacity(tt.total, tt.n)
+		if len(got) != len(tt.want) {
+			t.Errorf("SplitCapacity(%d, %d) = %v, want %v", tt.total, tt.n, got, tt.want)
+			continue
+		}
+		var sum int64
+		for i := range got {
+			sum += got[i]
+			if got[i] != tt.want[i] {
+				t.Errorf("SplitCapacity(%d, %d) = %v, want %v", tt.total, tt.n, got, tt.want)
+				break
+			}
+		}
+		if sum != tt.total {
+			t.Errorf("SplitCapacity(%d, %d) sums to %d", tt.total, tt.n, sum)
+		}
+	}
+	if SplitCapacity(10, 0) != nil {
+		t.Error("n=0 did not return nil")
+	}
+	if SplitCapacity(-1, 2) != nil {
+		t.Error("negative total did not return nil")
+	}
+}

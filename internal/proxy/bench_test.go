@@ -1,0 +1,76 @@
+package proxy
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"streamcache/internal/core"
+	"streamcache/internal/units"
+)
+
+// BenchmarkProxyServe measures in-process proxy throughput on the
+// warmed hot path (prefix hits) at 1 vs 8 shards. shards=1 is the
+// serialized baseline — every request crosses the same lock, as the
+// pre-sharding proxy did — and shards=8 is the sharded tier; on a
+// GOMAXPROCS>=8 machine the delta is the concurrency win of the PR 5
+// refactor. Requests go straight to ServeHTTP with httptest recorders,
+// so no sockets or origin round-trips pollute the measurement.
+func BenchmarkProxyServe(b *testing.B) {
+	const nObjects = 64
+	metas := make([]Meta, nObjects)
+	for i := range metas {
+		metas[i] = Meta{ID: i, Size: 32 * units.KB, Rate: units.KBps(512), Value: 1}
+	}
+	catalog, err := NewCatalog(metas)
+	if err != nil {
+		b.Fatal(err)
+	}
+	origin, err := NewOrigin(catalog, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	originSrv := httptest.NewServer(origin)
+	defer originSrv.Close()
+
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			px, err := New(Config{
+				Catalog:    catalog,
+				OriginURL:  originSrv.URL,
+				Shards:     shards,
+				CacheBytes: units.GBytes(1),
+				NewPolicy:  core.NewIB,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm every object so the measured loop is pure prefix
+			// hits (cache-client speed, no origin traffic).
+			for id := 0; id < nObjects; id++ {
+				rec := httptest.NewRecorder()
+				px.ServeHTTP(rec, httptest.NewRequest("GET", fmt.Sprintf("/objects/%d", id), nil))
+				if int64(rec.Body.Len()) != 32*units.KB {
+					b.Fatalf("warmup object %d: %d bytes", id, rec.Body.Len())
+				}
+			}
+			px.Quiesce()
+
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.SetBytes(32 * units.KB)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					id := int(next.Add(1)) % nObjects
+					rec := httptest.NewRecorder()
+					px.ServeHTTP(rec, httptest.NewRequest("GET", fmt.Sprintf("/objects/%d", id), nil))
+					if int64(rec.Body.Len()) != 32*units.KB {
+						b.Fatalf("object %d: short response %d", id, rec.Body.Len())
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,31 @@
+package proxy
+
+import (
+	"streamcache/internal/units"
+	"streamcache/internal/workload"
+)
+
+// BuildCatalog derives a deterministic n-object catalog from the
+// Table 1 lognormal size model, rescaled so the mean object is meanKB
+// kilobytes with a playback rate of rateKBps KB/s. proxyd serves it and
+// loadgen regenerates the identical catalog from the same parameters,
+// so the load harness knows every object's exact size and playback rate
+// without asking the server.
+func BuildCatalog(n int, meanKB int64, rateKBps float64, seed int64) (*Catalog, error) {
+	w, err := workload.Generate(workload.Config{NumObjects: n, NumRequests: 1, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	meanBytes := float64(w.TotalUniqueBytes()) / float64(n)
+	scale := float64(meanKB*units.KB) / meanBytes
+	rate := units.KBps(rateKBps)
+	metas := make([]Meta, n)
+	for i, o := range w.Objects {
+		size := int64(float64(o.Size) * scale)
+		if size < 16*units.KB {
+			size = 16 * units.KB
+		}
+		metas[i] = Meta{ID: o.ID, Size: size, Rate: rate, Value: o.Value}
+	}
+	return NewCatalog(metas)
+}

@@ -86,6 +86,22 @@ func (c *Catalog) IDs() []int {
 // Len returns the number of objects.
 func (c *Catalog) Len() int { return len(c.objects) }
 
+// Origins returns the distinct non-empty origin base URLs named by the
+// catalog, sorted. The catalog is immutable, so this set bounds the
+// proxy's per-origin estimator state for the life of the deployment.
+func (c *Catalog) Origins() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, o := range c.objects {
+		if o.Origin != "" && !seen[o.Origin] {
+			seen[o.Origin] = true
+			out = append(out, o.Origin)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Content deterministically generates the byte content of object id:
 // every byte of an object is reproducible from (id, offset), so the
 // origin can serve arbitrary ranges and tests can verify integrity

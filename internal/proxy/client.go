@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -61,6 +63,24 @@ func Fetch(url string) (*FetchResult, error) {
 	res.Elapsed = time.Since(start)
 	res.SHA256 = hex.EncodeToString(hash.Sum(nil))
 	return res, nil
+}
+
+// HitBytes returns how many bytes of this fetch were served from the
+// proxy's cached prefix, parsed from the X-Cache header (0 on a miss or
+// a direct-origin fetch). Summing it across fetches and dividing by the
+// total bytes downloaded yields the live bandwidth-weighted hit ratio —
+// the paper's traffic reduction ratio measured at the client.
+func (r *FetchResult) HitBytes() int64 {
+	const marker = "HIT-PREFIX; bytes="
+	i := strings.Index(r.CacheState, marker)
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.ParseInt(r.CacheState[i+len(marker):], 10, 64)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
 }
 
 // StartupDelay returns the smallest playout start time w such that a

@@ -83,7 +83,7 @@ func TestProxySurvivesOriginAbort(t *testing.T) {
 		t.Fatal("first fetch unexpectedly delivered the full object from a flaky origin")
 	}
 	px.Quiesce() // let the aborted relay finish its reconciliation
-	if got, want := cache.CachedBytes(1), px.store.Len(1); got != want {
+	if got, want := cache.CachedBytes(1), px.StoredBytes(1); got != want {
 		t.Fatalf("after abort: cache accounts %d bytes, store has %d", got, want)
 	}
 	if cache.CachedBytes(1) > 32*units.KB {
@@ -134,7 +134,7 @@ func TestProxyOriginDown(t *testing.T) {
 	}
 	px.Quiesce()
 	// Cache accounting must not leak bytes that never arrived.
-	if got, want := cache.CachedBytes(1), px.store.Len(1); got != want {
+	if got, want := cache.CachedBytes(1), px.StoredBytes(1); got != want {
 		t.Fatalf("cache accounts %d bytes, store has %d", got, want)
 	}
 }

@@ -206,7 +206,7 @@ func TestProxyEvictionReleasesStore(t *testing.T) {
 	if stats.UsedBytes > 260*units.KB {
 		t.Errorf("cache accounting %d exceeds capacity", stats.UsedBytes)
 	}
-	if got := px.store.TotalBytes(); got > 260*units.KB {
+	if got := px.StoredTotal(); got > 260*units.KB {
 		t.Errorf("byte store holds %d bytes, exceeds capacity", got)
 	}
 }

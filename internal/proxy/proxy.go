@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"streamcache/internal/bandwidth"
@@ -18,27 +20,68 @@ import (
 // ErrBadProxy reports an invalid proxy construction.
 var ErrBadProxy = errors.New("proxy: invalid proxy")
 
-// Proxy is the accelerating cache of Figure 1. For each client request it
-// serves the cached prefix immediately (the fast cache-client path) and
-// concurrently relays the remainder from the origin over the constrained
-// path, growing or shrinking its cached prefix as the policy dictates.
-// Origin throughput is observed passively (Section 2.7) to feed the
-// policy's bandwidth estimate.
+// Proxy is the accelerating cache of Figure 1. For each client request
+// it serves the cached prefix immediately (the fast cache-client path)
+// and concurrently relays the remainder from the origin over the
+// constrained path, growing or shrinking its cached prefix as the
+// policy dictates. Origin throughput is observed passively
+// (Section 2.7) to feed the policy's bandwidth estimate.
+//
+// Concurrency model: objects are partitioned across shards by ID hash.
+// Each shard owns an independent core.Cache over its slice of the byte
+// budget, a PrefixStore, and a per-origin estimator table, all guarded
+// by the shard's lock — requests for objects on different shards never
+// contend. Global counters are atomics, and concurrent misses for the
+// same object coalesce onto one origin transfer (see relay), so a
+// thundering herd costs a single constrained-path fetch.
 type Proxy struct {
 	catalog   *Catalog
-	originURL string // default origin for objects without Meta.Origin
+	originURL string
 	client    *http.Client
+	start     time.Time
 
-	mu         sync.Mutex
-	cache      *core.Cache
-	store      *PrefixStore
-	estimators map[string]bandwidth.Estimator // per-origin b_i estimates
-	start      time.Time
-	stats      Stats
-	inflight   sync.WaitGroup
+	// origins lists every distinct origin base URL the catalog can route
+	// to (default origin first, rest sorted); originIndex inverts it.
+	// The set is fixed at construction — per-origin estimator state is
+	// dense slices indexed by origin, never a growing map.
+	origins     []string
+	originIndex map[string]int
+
+	shards   []*shard
+	stats    counters
+	inflight sync.WaitGroup
 }
 
 var _ http.Handler = (*Proxy)(nil)
+
+// shard owns one partition of the object space. All fields are guarded
+// by mu except store, which has its own internal lock so prefix reads
+// and relay appends proceed without holding the shard lock.
+type shard struct {
+	mu       sync.Mutex
+	cache    *core.Cache
+	store    *PrefixStore
+	est      []pathEstimator // indexed by origin index
+	inflight map[int]*relay  // object ID -> in-flight origin transfer
+}
+
+// pathEstimator pairs a passive bandwidth estimator with whether it has
+// observed at least one completed transfer (so /stats can skip paths
+// that were never exercised).
+type pathEstimator struct {
+	est      bandwidth.Estimator
+	observed bool
+}
+
+// counters are the proxy-global atomic statistics; Snapshot folds them
+// into the exported Stats.
+type counters struct {
+	requests     atomic.Int64
+	prefixHits   atomic.Int64
+	bytesFromHit atomic.Int64
+	bytesFetched atomic.Int64
+	coalesced    atomic.Int64
+}
 
 // Stats counts proxy activity; exposed at GET /stats.
 type Stats struct {
@@ -46,10 +89,16 @@ type Stats struct {
 	PrefixHits   int64 `json:"prefixHits"`
 	BytesFromHit int64 `json:"bytesFromCache"`
 	BytesFetched int64 `json:"bytesFromOrigin"`
-	UsedBytes    int64 `json:"usedBytes"`
-	Objects      int   `json:"objects"`
+	// CoalescedRequests counts requests that attached to another
+	// request's in-flight origin transfer instead of opening their own —
+	// the thundering-herd savings of the relay singleflight.
+	CoalescedRequests int64 `json:"coalescedRequests"`
+	UsedBytes         int64 `json:"usedBytes"`
+	Objects           int   `json:"objects"`
+	Shards            int   `json:"shards"`
 	// EstimatesBps maps each origin base URL to the current passive
-	// bandwidth estimate of its path (bytes/s).
+	// bandwidth estimate of its path (bytes/s), averaged over the shards
+	// that have observed a completed transfer on it.
 	EstimatesBps map[string]int64 `json:"estimatesBps"`
 	// DefaultOrigin is the base URL misses without an explicit
 	// Meta.Origin are fetched from; it anchors EstimateBps("").
@@ -82,28 +131,134 @@ func (s Stats) EstimateBps(origin string) int64 {
 	return s.EstimatesBps[keys[0]]
 }
 
-// NewProxy builds a proxy over catalog that fetches misses from
-// originURL (e.g. "http://127.0.0.1:8080") and manages placement with
-// cache. The estimator defaults to a passive EWMA with alpha 0.3.
-func NewProxy(catalog *Catalog, cache *core.Cache, originURL string) (*Proxy, error) {
-	if catalog == nil {
-		return nil, fmt.Errorf("%w: nil catalog", ErrBadProxy)
+// Config parameterizes a sharded proxy built with New.
+type Config struct {
+	// Catalog is the shared object directory (required).
+	Catalog *Catalog
+	// OriginURL is the default origin base URL (required).
+	OriginURL string
+	// Shards partitions the object space; 0 means 1.
+	Shards int
+	// CacheBytes is the total capacity, split evenly across shards via
+	// core.SplitCapacity.
+	CacheBytes int64
+	// NewPolicy builds one policy per shard cache (required); stateful
+	// policies such as the GreedyDual-Size family must not be shared.
+	NewPolicy func() core.Policy
+	// CacheOptions are applied to every shard cache.
+	CacheOptions []core.Option
+	// Client performs origin fetches; nil means a default http.Client.
+	Client *http.Client
+}
+
+// New builds a sharded proxy from cfg.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("%w: shards=%d, want >= 0", ErrBadProxy, cfg.Shards)
 	}
+	n := cfg.Shards
+	if n == 0 {
+		n = 1
+	}
+	if cfg.NewPolicy == nil {
+		return nil, fmt.Errorf("%w: nil NewPolicy", ErrBadProxy)
+	}
+	caps := core.SplitCapacity(cfg.CacheBytes, n)
+	if caps == nil {
+		return nil, fmt.Errorf("%w: CacheBytes=%d", ErrBadProxy, cfg.CacheBytes)
+	}
+	caches := make([]*core.Cache, n)
+	for i := range caches {
+		policy := cfg.NewPolicy()
+		if policy == nil {
+			return nil, fmt.Errorf("%w: NewPolicy returned nil", ErrBadProxy)
+		}
+		c, err := core.New(caps[i], policy, cfg.CacheOptions...)
+		if err != nil {
+			return nil, err
+		}
+		caches[i] = c
+	}
+	return newProxy(cfg.Catalog, caches, cfg.OriginURL, cfg.Client)
+}
+
+// NewProxy builds a single-shard proxy over catalog that fetches misses
+// from originURL (e.g. "http://127.0.0.1:8080") and manages placement
+// with the given cache — the pre-sharding constructor, kept for tests
+// and embedders that want to own the cache instance. Use New for a
+// sharded deployment.
+func NewProxy(catalog *Catalog, cache *core.Cache, originURL string) (*Proxy, error) {
 	if cache == nil {
 		return nil, fmt.Errorf("%w: nil cache", ErrBadProxy)
+	}
+	return newProxy(catalog, []*core.Cache{cache}, originURL, nil)
+}
+
+func newProxy(catalog *Catalog, caches []*core.Cache, originURL string, client *http.Client) (*Proxy, error) {
+	if catalog == nil {
+		return nil, fmt.Errorf("%w: nil catalog", ErrBadProxy)
 	}
 	if originURL == "" {
 		return nil, fmt.Errorf("%w: empty origin URL", ErrBadProxy)
 	}
-	return &Proxy{
-		catalog:    catalog,
-		originURL:  originURL,
-		client:     &http.Client{},
-		cache:      cache,
-		store:      NewPrefixStore(),
-		estimators: make(map[string]bandwidth.Estimator),
-		start:      time.Now(),
-	}, nil
+	if client == nil {
+		client = &http.Client{}
+	}
+
+	// The estimator table is fixed at construction: the default origin
+	// plus every origin named by the (immutable) catalog. It can never
+	// grow at runtime, so per-origin state is bounded and lock-free to
+	// index.
+	origins := []string{originURL}
+	for _, o := range catalog.Origins() {
+		if o != originURL {
+			origins = append(origins, o)
+		}
+	}
+	originIndex := make(map[string]int, len(origins))
+	for i, o := range origins {
+		originIndex[o] = i
+	}
+
+	p := &Proxy{
+		catalog:     catalog,
+		originURL:   originURL,
+		client:      client,
+		start:       time.Now(),
+		origins:     origins,
+		originIndex: originIndex,
+		shards:      make([]*shard, len(caches)),
+	}
+	for i, c := range caches {
+		est := make([]pathEstimator, len(origins))
+		for j := range est {
+			e, err := bandwidth.NewEWMA(0.3)
+			if err != nil {
+				// 0.3 is a valid constant alpha; NewEWMA cannot fail on it.
+				panic(fmt.Sprintf("proxy: estimator: %v", err))
+			}
+			est[j] = pathEstimator{est: e}
+		}
+		p.shards[i] = &shard{
+			cache:    c,
+			store:    NewPrefixStore(),
+			est:      est,
+			inflight: make(map[int]*relay),
+		}
+	}
+	return p, nil
+}
+
+// Shards returns the configured shard count.
+func (p *Proxy) Shards() int { return len(p.shards) }
+
+// shardFor maps an object ID to its owning shard. IDs are dense and
+// popularity-ordered (hot objects have low IDs), so a Fibonacci hash
+// spreads neighbors across shards instead of clustering the hot set.
+func (p *Proxy) shardFor(id int) *shard {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	h ^= h >> 32
+	return p.shards[h%uint64(len(p.shards))]
 }
 
 // originFor returns the base URL of the origin storing meta.
@@ -114,24 +269,21 @@ func (p *Proxy) originFor(meta Meta) string {
 	return p.originURL
 }
 
-// estimatorFor returns (creating on first use) the passive bandwidth
-// estimator of the path to the given origin. Callers must hold p.mu.
-func (p *Proxy) estimatorFor(origin string) bandwidth.Estimator {
-	est := p.estimators[origin]
-	if est == nil {
-		e, err := bandwidth.NewEWMA(0.3)
-		if err != nil {
-			// 0.3 is a valid constant alpha; NewEWMA cannot fail on it.
-			panic(fmt.Sprintf("proxy: estimator: %v", err))
-		}
-		est = e
-		p.estimators[origin] = est
-	}
-	return est
+// estimate returns the shard's current bandwidth estimate for an origin
+// path. Callers must hold sh.mu.
+func (sh *shard) estimate(originIdx int) float64 {
+	return sh.est[originIdx].est.Estimate()
 }
 
-// ServeHTTP routes /objects/<id> to the joint-delivery path and /stats to
-// the counters.
+// observe feeds one completed-transfer throughput sample into the
+// shard's estimator for an origin path. Callers must hold sh.mu.
+func (sh *shard) observe(originIdx int, sample float64) {
+	sh.est[originIdx].est.Observe(sample)
+	sh.est[originIdx].observed = true
+}
+
+// ServeHTTP routes /objects/<id> to the joint-delivery path and /stats
+// to the counters.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	if req.URL.Path == "/stats" {
 		p.serveStats(w)
@@ -147,7 +299,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 		http.NotFound(w, req)
 		return
 	}
-	p.serveObject(w, meta)
+	p.serveObject(w, req, meta)
 }
 
 func (p *Proxy) serveStats(w http.ResponseWriter) {
@@ -158,14 +310,15 @@ func (p *Proxy) serveStats(w http.ResponseWriter) {
 	}
 }
 
-// Quiesce blocks until every in-flight object request has finished,
-// including post-relay cache reconciliation. Use it before shutdown or
-// before inspecting cache state from outside the request path.
+// Quiesce blocks until every in-flight object request and origin
+// transfer has finished, including post-relay cache reconciliation. Use
+// it before shutdown or before inspecting cache state from outside the
+// request path.
 func (p *Proxy) Quiesce() { p.inflight.Wait() }
 
 // serveObject implements joint delivery: cached prefix first, origin
 // remainder streamed behind it, with opportunistic prefix growth.
-func (p *Proxy) serveObject(w http.ResponseWriter, meta Meta) {
+func (p *Proxy) serveObject(w http.ResponseWriter, req *http.Request, meta Meta) {
 	p.inflight.Add(1)
 	defer p.inflight.Done()
 	obj := core.Object{
@@ -177,21 +330,24 @@ func (p *Proxy) serveObject(w http.ResponseWriter, meta Meta) {
 	}
 
 	origin := p.originFor(meta)
-	p.mu.Lock()
+	originIdx := p.originIndex[origin]
+	sh := p.shardFor(meta.ID)
+
+	sh.mu.Lock()
 	now := time.Since(p.start).Seconds()
-	res := p.cache.Access(obj, p.estimatorFor(origin).Estimate(), now)
+	res := sh.cache.Access(obj, sh.estimate(originIdx), now)
 	// Release byte storage for whatever the cache evicted.
 	for _, v := range res.Victims {
-		p.store.Truncate(v.ID, p.cache.CachedBytes(v.ID))
+		sh.store.Truncate(v.ID, sh.cache.CachedBytes(v.ID))
 	}
-	if res.CachedAfter < p.store.Len(meta.ID) {
-		p.store.Truncate(meta.ID, res.CachedAfter)
+	if res.CachedAfter < sh.store.Len(meta.ID) {
+		sh.store.Truncate(meta.ID, res.CachedAfter)
 	}
 	retainTarget := res.CachedAfter
-	p.stats.Requests++
-	p.mu.Unlock()
+	sh.mu.Unlock()
+	p.stats.requests.Add(1)
 
-	prefix := p.store.Prefix(meta.ID)
+	prefix := sh.store.Prefix(meta.ID)
 	if int64(len(prefix)) > meta.Size {
 		prefix = prefix[:meta.Size]
 	}
@@ -212,98 +368,255 @@ func (p *Proxy) serveObject(w http.ResponseWriter, meta Meta) {
 		if f, ok := w.(http.Flusher); ok {
 			f.Flush()
 		}
-		p.mu.Lock()
-		p.stats.PrefixHits++
-		p.stats.BytesFromHit += int64(len(prefix))
-		p.mu.Unlock()
+		p.stats.prefixHits.Add(1)
+		p.stats.bytesFromHit.Add(int64(len(prefix)))
 	}
 
-	// Phase 2: relay the remainder from the origin, observing throughput
-	// and retaining bytes the cache granted.
-	remainderStart := int64(len(prefix))
-	if remainderStart >= meta.Size {
+	// Phase 2: the remainder comes over the constrained origin path —
+	// through the object's in-flight relay when one covers our offset,
+	// else through a new relay other requests can attach to.
+	start := int64(len(prefix))
+	if start >= meta.Size {
 		return
 	}
-	fetched, err := p.relayRemainder(w, meta, origin, remainderStart, retainTarget)
-	p.mu.Lock()
-	p.stats.BytesFetched += fetched
-	// If the relay died before materializing the granted prefix bytes,
-	// give the un-materialized accounting back to the cache.
-	if stored := p.store.Len(meta.ID); stored < p.cache.CachedBytes(meta.ID) {
-		p.cache.Truncate(meta.ID, stored)
+	sh.mu.Lock()
+	rl := sh.inflight[meta.ID]
+	switch {
+	case rl != nil && rl.start <= start && rl.attach():
+		sh.mu.Unlock()
+		rl.raiseRetain(retainTarget)
+		p.stats.coalesced.Add(1)
+		p.streamFromRelay(req.Context(), w, rl, start)
+		rl.detach()
+	case rl != nil:
+		// The in-flight transfer began past our offset (the prefix
+		// shrank since it started) or is already being torn down: relay
+		// privately, leaving the store to the active fetch.
+		sh.mu.Unlock()
+		p.relayDirect(req.Context(), w, sh, meta, origin, originIdx, start)
+	default:
+		ctx, cancel := context.WithCancel(context.Background())
+		rl = newRelay(start, retainTarget, meta.Size-start, cancel)
+		rl.attach() // the leader; a fresh relay never refuses
+		sh.inflight[meta.ID] = rl
+		p.inflight.Add(1)
+		go p.runRelay(ctx, sh, meta, origin, originIdx, rl)
+		sh.mu.Unlock()
+		p.streamFromRelay(req.Context(), w, rl, start)
+		rl.detach()
 	}
-	p.mu.Unlock()
-	_ = err // client disconnects and origin failures both just end the response
 }
 
-// relayRemainder streams bytes [start, meta.Size) from the given origin
-// to w, appending to the prefix store up to retainTarget bytes. It
-// returns the number of bytes relayed.
-func (p *Proxy) relayRemainder(w http.ResponseWriter, meta Meta, origin string, start, retainTarget int64) (int64, error) {
-	url := fmt.Sprintf("%s/objects/%d", origin, meta.ID)
-	req, err := http.NewRequest(http.MethodGet, url, nil)
-	if err != nil {
-		return 0, fmt.Errorf("proxy: build origin request: %w", err)
+// streamFromRelay copies relay bytes from object offset off to the
+// client until the transfer ends or the client goes away (detected by
+// write failure or the request context, whichever fires first).
+func (p *Proxy) streamFromRelay(ctx context.Context, w http.ResponseWriter, rl *relay, off int64) {
+	stop := context.AfterFunc(ctx, rl.wake)
+	defer stop()
+	fl, _ := w.(http.Flusher)
+	for {
+		chunk, done, _ := rl.next(ctx, off)
+		if len(chunk) > 0 {
+			if _, err := w.Write(chunk); err != nil {
+				return // client went away; detach may cancel the fetch
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+			off += int64(len(chunk))
+		}
+		if done && len(chunk) == 0 {
+			return // transfer ended (cleanly or not): truncate here
+		}
 	}
-	if start > 0 {
-		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", start))
+}
+
+// runRelay is the fetch goroutine behind one relay: it pulls the
+// remainder from the origin exactly once, publishes it to every
+// attached client and the prefix store, then reconciles cache
+// accounting with what was actually materialized. ctx is canceled by
+// the last detaching client, aborting a transfer nobody reads anymore.
+func (p *Proxy) runRelay(ctx context.Context, sh *shard, meta Meta, origin string, originIdx int, rl *relay) {
+	defer p.inflight.Done()
+	fetched, elapsed, err := p.fetchOrigin(ctx, sh, meta, origin, rl)
+	rl.finish(err)
+	p.stats.bytesFetched.Add(fetched)
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.inflight, meta.ID)
+	// Passive measurement: throughput of this transfer on this path.
+	if elapsed > 0 && fetched > 0 {
+		sh.observe(originIdx, float64(fetched)/elapsed)
 	}
+	// Reconcile accounting and materialization: an aborted transfer can
+	// leave the cache granting bytes the store never received, and an
+	// eviction racing the relay can leave store bytes the cache no
+	// longer accounts for. Either way the store and the cache agree once
+	// no transfer is in flight.
+	stored := sh.store.Len(meta.ID)
+	if acct := sh.cache.CachedBytes(meta.ID); stored < acct {
+		sh.cache.Truncate(meta.ID, stored)
+	} else if stored > acct {
+		sh.store.Truncate(meta.ID, acct)
+	}
+}
+
+// fetchOrigin streams object bytes [rl.start, meta.Size) from the
+// origin into the relay, retaining up to the relay's (possibly still
+// rising) retention limit in the shard's store. It returns the bytes
+// fetched and the transfer duration in seconds.
+func (p *Proxy) fetchOrigin(ctx context.Context, sh *shard, meta Meta, origin string, rl *relay) (int64, float64, error) {
 	fetchStart := time.Now()
-	resp, err := p.client.Do(req)
+	resp, err := p.originRequest(ctx, meta, origin, rl.start)
 	if err != nil {
-		return 0, fmt.Errorf("proxy: origin fetch: %w", err)
+		return 0, time.Since(fetchStart).Seconds(), err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusPartialContent {
-		return 0, fmt.Errorf("proxy: origin status %s", resp.Status)
-	}
 
-	var relayed int64
+	var fetched int64
 	buf := make([]byte, 16*1024)
-	offset := start
+	offset := rl.start
 	for {
 		n, readErr := resp.Body.Read(buf)
 		if n > 0 {
-			if _, err := w.Write(buf[:n]); err != nil {
-				return relayed, fmt.Errorf("proxy: client write: %w", err)
+			// Materialize before publishing: a client that has consumed
+			// every published byte is then guaranteed the store was
+			// offered them too.
+			if limit := rl.retainLimit(); offset < limit {
+				sh.store.AppendAt(meta.ID, offset, buf[:n], limit)
 			}
-			if f, ok := w.(http.Flusher); ok {
-				f.Flush()
-			}
-			if offset < retainTarget {
-				p.store.AppendAt(meta.ID, offset, buf[:n], retainTarget)
-			}
+			rl.append(buf[:n])
 			offset += int64(n)
-			relayed += int64(n)
+			fetched += int64(n)
 		}
 		if readErr == io.EOF {
 			break
 		}
 		if readErr != nil {
-			return relayed, fmt.Errorf("proxy: origin read: %w", readErr)
+			return fetched, time.Since(fetchStart).Seconds(), fmt.Errorf("proxy: origin read: %w", readErr)
 		}
 	}
-	// Passive measurement: throughput of this completed transfer on this
-	// origin's path.
-	if elapsed := time.Since(fetchStart).Seconds(); elapsed > 0 && relayed > 0 {
-		p.mu.Lock()
-		p.estimatorFor(origin).Observe(float64(relayed) / elapsed)
-		p.mu.Unlock()
-	}
-	return relayed, nil
+	return fetched, time.Since(fetchStart).Seconds(), nil
 }
 
-// Snapshot returns the current stats (test and tooling hook).
-func (p *Proxy) Snapshot() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	s := p.stats
-	s.UsedBytes = p.cache.Used()
-	s.Objects = p.cache.Len()
-	s.EstimatesBps = make(map[string]int64, len(p.estimators))
-	for origin, est := range p.estimators {
-		s.EstimatesBps[origin] = int64(est.Estimate())
+// relayDirect streams [start, meta.Size) from the origin straight to
+// one client, bypassing the store — the fallback when an in-flight
+// relay exists but began past this client's offset.
+func (p *Proxy) relayDirect(ctx context.Context, w http.ResponseWriter, sh *shard, meta Meta, origin string, originIdx int, start int64) {
+	fetchStart := time.Now()
+	resp, err := p.originRequest(ctx, meta, origin, start)
+	if err != nil {
+		return
 	}
-	s.DefaultOrigin = p.originURL
+	defer resp.Body.Close()
+	fl, _ := w.(http.Flusher)
+	var fetched int64
+	buf := make([]byte, 16*1024)
+	for {
+		n, readErr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, err := w.Write(buf[:n]); err != nil {
+				break
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+			fetched += int64(n)
+		}
+		if readErr != nil {
+			break
+		}
+	}
+	p.stats.bytesFetched.Add(fetched)
+	if elapsed := time.Since(fetchStart).Seconds(); elapsed > 0 && fetched > 0 {
+		sh.mu.Lock()
+		sh.observe(originIdx, float64(fetched)/elapsed)
+		sh.mu.Unlock()
+	}
+}
+
+// originRequest opens a ranged GET for meta's content from the given
+// origin starting at the given byte offset. A ranged request demands a
+// 206: an origin that ignores Range and replies 200 would deliver byte
+// 0 at offset `start`, corrupting the shared relay and prefix store,
+// so it is rejected here.
+func (p *Proxy) originRequest(ctx context.Context, meta Meta, origin string, start int64) (*http.Response, error) {
+	url := fmt.Sprintf("%s/objects/%d", origin, meta.ID)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: build origin request: %w", err)
+	}
+	if start > 0 {
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-", start))
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: origin fetch: %w", err)
+	}
+	want := http.StatusOK
+	if start > 0 {
+		want = http.StatusPartialContent
+	}
+	if resp.StatusCode != want {
+		resp.Body.Close()
+		return nil, fmt.Errorf("proxy: origin status %s for offset %d (want %d)", resp.Status, start, want)
+	}
+	return resp, nil
+}
+
+// StoredBytes returns the materialized prefix length of object id (a
+// test and tooling hook; the owning shard is found by ID hash).
+func (p *Proxy) StoredBytes(id int) int64 {
+	return p.shardFor(id).store.Len(id)
+}
+
+// StoredTotal returns the total bytes materialized across all shard
+// stores.
+func (p *Proxy) StoredTotal() int64 {
+	var total int64
+	for _, sh := range p.shards {
+		total += sh.store.TotalBytes()
+	}
+	return total
+}
+
+// Snapshot aggregates the current stats across shards. Shard snapshots
+// are taken one shard at a time under that shard's own lock — no
+// stop-the-world pause — so the result is a consistent-per-shard,
+// slightly time-smeared view, which is what a /stats endpoint wants.
+func (p *Proxy) Snapshot() Stats {
+	s := Stats{
+		Requests:          p.stats.requests.Load(),
+		PrefixHits:        p.stats.prefixHits.Load(),
+		BytesFromHit:      p.stats.bytesFromHit.Load(),
+		BytesFetched:      p.stats.bytesFetched.Load(),
+		CoalescedRequests: p.stats.coalesced.Load(),
+		Shards:            len(p.shards),
+		DefaultOrigin:     p.originURL,
+	}
+	// Dense accumulators indexed by origin keep the aggregation to two
+	// small allocations regardless of shard count.
+	sums := make([]float64, len(p.origins))
+	counts := make([]int, len(p.origins))
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		snap := sh.cache.Snapshot()
+		s.UsedBytes += snap.Used
+		s.Objects += snap.Objects
+		for i := range sh.est {
+			if sh.est[i].observed {
+				sums[i] += sh.est[i].est.Estimate()
+				counts[i]++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	s.EstimatesBps = make(map[string]int64, len(p.origins))
+	for i, o := range p.origins {
+		if counts[i] > 0 {
+			s.EstimatesBps[o] = int64(sums[i] / float64(counts[i]))
+		}
+	}
 	return s
 }

@@ -1,0 +1,153 @@
+package proxy
+
+import (
+	"context"
+	"sync"
+)
+
+// relayBufSeed is the initial relay buffer capacity; the buffer grows
+// on demand up to the remainder size, so a cold request for a huge
+// object does not commit the whole object's memory up front.
+const relayBufSeed = 256 * 1024
+
+// relay is one in-flight origin transfer shared by every concurrent
+// request for the same object — the singleflight of the sharded proxy.
+// A thundering herd of clients asking for one cold object costs a
+// single transfer over the constrained origin path: the first request
+// starts a fetch goroutine that publishes bytes into the relay buffer
+// (and the shard's PrefixStore, up to the retention target), and every
+// attached client streams from the buffer at its own pace.
+//
+// The buffer is append-only: a published byte range is never mutated,
+// so slices handed out by next stay valid even if a later append grows
+// the buffer (growth copies forward and abandons the old array, it
+// never writes into it). The buffer lives until the last attached
+// client finishes; memory is therefore bounded by the remainder size
+// times the number of distinct objects with in-flight fetches.
+//
+// Attached clients are refcounted: when the last one detaches before
+// the transfer completes, the fetch is canceled so the constrained
+// origin path is not spent on bytes nobody will receive.
+type relay struct {
+	start  int64              // object offset of buf[0]
+	cancel context.CancelFunc // aborts the origin fetch; set at construction
+
+	mu       sync.Mutex
+	cond     sync.Cond
+	buf      []byte
+	retain   int64 // PrefixStore retention limit (max over attached requests)
+	subs     int   // attached clients (leader included)
+	canceled bool  // last client left; fetch abort initiated
+	done     bool
+	err      error
+}
+
+// newRelay builds a relay for object bytes [start, start+capacity)
+// whose fetch can be aborted via cancel.
+func newRelay(start, retain, capacity int64, cancel context.CancelFunc) *relay {
+	r := &relay{
+		start:  start,
+		retain: retain,
+		cancel: cancel,
+		buf:    make([]byte, 0, min(capacity, relayBufSeed)),
+	}
+	r.cond.L = &r.mu
+	return r
+}
+
+// attach registers one client reader. It fails only when the relay's
+// fetch has already been canceled (every previous reader left), in
+// which case the caller must fetch on its own.
+func (r *relay) attach() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.canceled {
+		return false
+	}
+	r.subs++
+	return true
+}
+
+// detach unregisters one client reader; the last one out aborts an
+// unfinished fetch.
+func (r *relay) detach() {
+	r.mu.Lock()
+	abort := false
+	r.subs--
+	if r.subs == 0 && !r.done && !r.canceled {
+		r.canceled = true
+		abort = true
+	}
+	fn := r.cancel
+	r.mu.Unlock()
+	if abort && fn != nil {
+		fn()
+	}
+}
+
+// raiseRetain lifts the store-retention limit to at least n; attaching
+// requests call it so a prefix target that grew mid-flight is still
+// materialized by the shared fetch.
+func (r *relay) raiseRetain(n int64) {
+	r.mu.Lock()
+	if n > r.retain {
+		r.retain = n
+	}
+	r.mu.Unlock()
+}
+
+// retainLimit returns the current store-retention limit.
+func (r *relay) retainLimit() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retain
+}
+
+// append publishes p to every attached reader. The fetch goroutine is
+// the only appender.
+func (r *relay) append(p []byte) {
+	r.mu.Lock()
+	r.buf = append(r.buf, p...)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// finish marks the transfer complete (err non-nil when it died early)
+// and wakes every reader.
+func (r *relay) finish(err error) {
+	r.mu.Lock()
+	r.done = true
+	r.err = err
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// wake prods every blocked reader so it can re-check its own context;
+// readers register it with context.AfterFunc.
+func (r *relay) wake() {
+	r.mu.Lock()
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// next blocks until bytes past object offset off are published, the
+// transfer ends, or ctx (the reader's own request context) is
+// canceled, then returns the contiguous published range starting at
+// off. The returned slice aliases an immutable buffer region and stays
+// valid after the lock is released. done reports that the reader
+// should stop after consuming the returned chunk.
+func (r *relay) next(ctx context.Context, off int64) (chunk []byte, done bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rel := off - r.start
+	for int64(len(r.buf)) <= rel && !r.done && ctx.Err() == nil {
+		r.cond.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, true, err
+	}
+	if int64(len(r.buf)) > rel {
+		chunk = r.buf[rel:len(r.buf):len(r.buf)]
+	}
+	return chunk, r.done, r.err
+}

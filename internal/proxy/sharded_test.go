@@ -1,0 +1,595 @@
+package proxy
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streamcache/internal/core"
+	"streamcache/internal/units"
+)
+
+func TestNewShardedValidation(t *testing.T) {
+	catalog := testCatalog(t)
+	base := Config{
+		Catalog:    catalog,
+		OriginURL:  "http://x",
+		CacheBytes: units.MB,
+		NewPolicy:  core.NewLRU,
+	}
+	if _, err := New(base); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	cfg := base
+	cfg.Catalog = nil
+	if _, err := New(cfg); err == nil {
+		t.Error("nil catalog accepted")
+	}
+	cfg = base
+	cfg.OriginURL = ""
+	if _, err := New(cfg); err == nil {
+		t.Error("empty origin accepted")
+	}
+	cfg = base
+	cfg.Shards = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative shards accepted")
+	}
+	cfg = base
+	cfg.NewPolicy = nil
+	if _, err := New(cfg); err == nil {
+		t.Error("nil policy factory accepted")
+	}
+	cfg = base
+	cfg.CacheBytes = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestShardedCapacitySplit(t *testing.T) {
+	px, err := New(Config{
+		Catalog:    testCatalog(t),
+		OriginURL:  "http://x",
+		Shards:     4,
+		CacheBytes: 10,
+		NewPolicy:  core.NewLRU,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if px.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", px.Shards())
+	}
+	var total int64
+	for _, sh := range px.shards {
+		total += sh.cache.Capacity()
+	}
+	if total != 10 {
+		t.Errorf("shard capacities sum to %d, want 10", total)
+	}
+}
+
+// startShardedStack brings up an origin and an n-shard proxy in front of
+// it over the given catalog.
+func startShardedStack(t *testing.T, catalog *Catalog, shards int, cacheBytes int64, newPolicy func() core.Policy, originRate float64) (*Proxy, string) {
+	t.Helper()
+	origin, err := NewOrigin(catalog, originRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	originSrv := httptest.NewServer(origin)
+	t.Cleanup(originSrv.Close)
+	px, err := New(Config{
+		Catalog:    catalog,
+		OriginURL:  originSrv.URL,
+		Shards:     shards,
+		CacheBytes: cacheBytes,
+		NewPolicy:  newPolicy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxySrv := httptest.NewServer(px)
+	t.Cleanup(proxySrv.Close)
+	return px, proxySrv.URL
+}
+
+func TestProxyShardedEndToEnd(t *testing.T) {
+	catalog := testCatalog(t)
+	px, proxyURL := startShardedStack(t, catalog, 8, units.GBytes(1), core.NewIB, 0)
+	for round := 0; round < 3; round++ {
+		for _, id := range []int{1, 2, 3} {
+			meta, _ := catalog.Get(id)
+			res, err := Fetch(fmt.Sprintf("%s/objects/%d", proxyURL, id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Bytes != meta.Size {
+				t.Fatalf("round %d object %d: %d bytes, want %d", round, id, res.Bytes, meta.Size)
+			}
+			if want := ContentSHA256(id, meta.Size); res.SHA256 != want {
+				t.Fatalf("round %d object %d: digest mismatch", round, id)
+			}
+		}
+	}
+	px.Quiesce()
+	stats := px.Snapshot()
+	if stats.Shards != 8 {
+		t.Errorf("stats.Shards = %d, want 8", stats.Shards)
+	}
+	if stats.Requests != 9 || stats.PrefixHits == 0 {
+		t.Errorf("stats = %+v, want 9 requests with prefix hits", stats)
+	}
+	if want := int64(256+128+64) * units.KB; stats.UsedBytes != want {
+		t.Errorf("UsedBytes = %d, want %d (all three objects cached)", stats.UsedBytes, want)
+	}
+	if stats.Objects != 3 {
+		t.Errorf("Objects = %d, want 3", stats.Objects)
+	}
+}
+
+// stressCatalog builds n objects with varied sizes so evictions hit
+// objects of different weights across shards.
+func stressCatalog(t *testing.T, n int) *Catalog {
+	t.Helper()
+	metas := make([]Meta, n)
+	for i := range metas {
+		size := int64(16+16*(i%4)) * units.KB
+		metas[i] = Meta{ID: i, Size: size, Rate: units.KBps(512), Value: 1}
+	}
+	c, err := NewCatalog(metas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestProxyShardedStress hammers one hot object and a spread of cold
+// objects across shards with a cache small enough to force continuous
+// hit/miss/evict interleavings, asserting every response is
+// byte-correct and that store bytes and cache accounting agree once the
+// proxy quiesces. Run under -race this is the concurrency regression
+// test for the sharded tier.
+func TestProxyShardedStress(t *testing.T) {
+	const nObjects = 16
+	catalog := stressCatalog(t, nObjects)
+	// ~5 object-equivalents of capacity: constant eviction churn.
+	px, proxyURL := startShardedStack(t, catalog, 4, 160*units.KB, core.NewLRU, 0)
+
+	const workers = 8
+	const perWorker = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(worker)))
+			for i := 0; i < perWorker; i++ {
+				// Half the traffic hammers hot object 0 (coalescing,
+				// same-shard contention); the rest spreads over the
+				// cold tail (cross-shard misses and evictions).
+				id := 0
+				if rng.Intn(2) == 1 {
+					id = 1 + rng.Intn(nObjects-1)
+				}
+				meta, _ := catalog.Get(id)
+				res, err := Fetch(fmt.Sprintf("%s/objects/%d", proxyURL, id))
+				if err != nil {
+					errs <- fmt.Errorf("object %d: %w", id, err)
+					continue
+				}
+				if res.Bytes != meta.Size {
+					errs <- fmt.Errorf("object %d: %d bytes, want %d", id, res.Bytes, meta.Size)
+					continue
+				}
+				if want := ContentSHA256(id, meta.Size); res.SHA256 != want {
+					errs <- fmt.Errorf("object %d: digest mismatch under stress", id)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	px.Quiesce()
+	stats := px.Snapshot()
+	if stats.UsedBytes > 160*units.KB {
+		t.Errorf("cache accounting %d exceeds capacity", stats.UsedBytes)
+	}
+	if got := px.StoredTotal(); got > 160*units.KB {
+		t.Errorf("byte stores hold %d bytes, exceeds capacity", got)
+	}
+	// With no transfer in flight, every shard's store must agree with
+	// its cache accounting byte-for-byte.
+	for si, sh := range px.shards {
+		sh.mu.Lock()
+		for id := 0; id < nObjects; id++ {
+			if px.shardFor(id) != sh {
+				continue
+			}
+			if stored, acct := sh.store.Len(id), sh.cache.CachedBytes(id); stored != acct {
+				t.Errorf("shard %d object %d: store %d bytes, cache accounts %d", si, id, stored, acct)
+			}
+		}
+		if len(sh.inflight) != 0 {
+			t.Errorf("shard %d: %d relays leaked past Quiesce", si, len(sh.inflight))
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// gatedOrigin serves the first firstBytes of each response, then blocks
+// until released; if abort is set it kills the connection instead of
+// completing, but only for the first `aborts` requests.
+type gatedOrigin struct {
+	catalog    *Catalog
+	firstBytes int64
+	release    chan struct{}
+	aborts     int32
+	requests   atomic.Int32
+}
+
+func (g *gatedOrigin) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	g.requests.Add(1)
+	id, ok := parseObjectPath(req.URL.Path)
+	if !ok {
+		http.NotFound(w, req)
+		return
+	}
+	meta, _ := g.catalog.Get(id)
+	start, err := parseRangeStart(req.Header.Get("Range"), meta.Size)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusRequestedRangeNotSatisfiable)
+		return
+	}
+	w.Header().Set("Content-Length", strconv.FormatInt(meta.Size-start, 10))
+	if start > 0 {
+		w.WriteHeader(http.StatusPartialContent)
+	}
+	head := g.firstBytes
+	if head > meta.Size-start {
+		head = meta.Size - start
+	}
+	if _, err := w.Write(Content(id, start, head)); err != nil {
+		return
+	}
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	<-g.release
+	if atomic.AddInt32(&g.aborts, -1) >= 0 {
+		panic(http.ErrAbortHandler)
+	}
+	if _, err := w.Write(Content(id, start+head, meta.Size-start-head)); err != nil {
+		return
+	}
+}
+
+// startGatedStack wires a gated origin to a fresh single-shard proxy.
+func startGatedStack(t *testing.T, catalog *Catalog, gate *gatedOrigin) (*Proxy, string) {
+	t.Helper()
+	originSrv := httptest.NewServer(gate)
+	t.Cleanup(originSrv.Close)
+	px, err := New(Config{
+		Catalog:    catalog,
+		OriginURL:  originSrv.URL,
+		Shards:     1,
+		CacheBytes: units.GBytes(1),
+		NewPolicy:  core.NewIB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxySrv := httptest.NewServer(px)
+	t.Cleanup(proxySrv.Close)
+	return px, proxySrv.URL
+}
+
+// waitForCoalesced polls until n requests have attached to an in-flight
+// relay (or times out).
+func waitForCoalesced(t *testing.T, px *Proxy, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for px.Snapshot().CoalescedRequests < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: %d coalesced requests, want %d", px.Snapshot().CoalescedRequests, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCoalescedFetchSingleOriginTransfer pins the singleflight
+// guarantee: a thundering herd of clients for one cold object costs
+// exactly one transfer over the constrained origin path, and every
+// client still receives the complete, byte-correct object.
+func TestCoalescedFetchSingleOriginTransfer(t *testing.T) {
+	catalog := testCatalog(t)
+	meta, _ := catalog.Get(1)
+	gate := &gatedOrigin{catalog: catalog, firstBytes: 32 * units.KB, release: make(chan struct{})}
+	px, proxyURL := startGatedStack(t, catalog, gate)
+
+	const herd = 6
+	results := make([]*FetchResult, herd)
+	fetchErrs := make([]error, herd)
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], fetchErrs[i] = Fetch(proxyURL + "/objects/1")
+		}(i)
+	}
+	// Every late arrival must attach to the leader's stalled transfer
+	// before the origin is released.
+	waitForCoalesced(t, px, herd-1)
+	close(gate.release)
+	wg.Wait()
+
+	for i := 0; i < herd; i++ {
+		if fetchErrs[i] != nil {
+			t.Fatalf("client %d: %v", i, fetchErrs[i])
+		}
+		if results[i].Bytes != meta.Size {
+			t.Fatalf("client %d: %d bytes, want %d", i, results[i].Bytes, meta.Size)
+		}
+		if want := ContentSHA256(1, meta.Size); results[i].SHA256 != want {
+			t.Fatalf("client %d: digest mismatch", i)
+		}
+	}
+	px.Quiesce()
+	if got := gate.requests.Load(); got != 1 {
+		t.Errorf("origin saw %d requests for a %d-client herd, want 1", got, herd)
+	}
+	stats := px.Snapshot()
+	if stats.BytesFetched != meta.Size {
+		t.Errorf("BytesFetched = %d, want %d (one transfer)", stats.BytesFetched, meta.Size)
+	}
+	if stats.CoalescedRequests != herd-1 {
+		t.Errorf("CoalescedRequests = %d, want %d", stats.CoalescedRequests, herd-1)
+	}
+}
+
+// TestCoalescedRelayOriginAbort is the failure-path regression: the
+// origin dies mid-transfer while a herd is attached to the relay. Every
+// client gets a clean truncation, the cached prefix stays consistent
+// with cache accounting, and the aborted transfer leaks neither relays
+// nor stats.
+func TestCoalescedRelayOriginAbort(t *testing.T) {
+	catalog := testCatalog(t)
+	meta, _ := catalog.Get(1)
+	gate := &gatedOrigin{catalog: catalog, firstBytes: 32 * units.KB, release: make(chan struct{}), aborts: 1}
+	px, proxyURL := startGatedStack(t, catalog, gate)
+
+	const herd = 4
+	results := make([]*FetchResult, herd)
+	fetchErrs := make([]error, herd)
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], fetchErrs[i] = Fetch(proxyURL + "/objects/1")
+		}(i)
+	}
+	waitForCoalesced(t, px, herd-1)
+	close(gate.release)
+	wg.Wait()
+	px.Quiesce()
+
+	// Clean truncation: no client may think it got the whole object.
+	for i := 0; i < herd; i++ {
+		if fetchErrs[i] == nil && results[i].Bytes >= meta.Size {
+			t.Fatalf("client %d: full object delivered through an aborted transfer", i)
+		}
+	}
+	// Prefix consistency: store and accounting agree, bounded by what
+	// the origin actually sent.
+	sh := px.shardFor(1)
+	sh.mu.Lock()
+	stored, acct := sh.store.Len(1), sh.cache.CachedBytes(1)
+	leaked := len(sh.inflight)
+	sh.mu.Unlock()
+	if stored != acct {
+		t.Errorf("store holds %d bytes, cache accounts %d", stored, acct)
+	}
+	if stored > 32*units.KB {
+		t.Errorf("store holds %d bytes, origin only sent 32 KB", stored)
+	}
+	if leaked != 0 {
+		t.Errorf("%d relays leaked past the abort", leaked)
+	}
+	// Stats must reflect the single truncated transfer, not the herd.
+	stats := px.Snapshot()
+	if stats.BytesFetched > 32*units.KB {
+		t.Errorf("BytesFetched = %d, want <= 32 KB (single aborted transfer)", stats.BytesFetched)
+	}
+	if stats.CoalescedRequests != herd-1 {
+		t.Errorf("CoalescedRequests = %d, want %d", stats.CoalescedRequests, herd-1)
+	}
+
+	// Recovery: the next fetch hits the healthy origin and completes the
+	// object from wherever the abort left it.
+	res, err := Fetch(proxyURL + "/objects/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ContentSHA256(1, meta.Size); res.SHA256 != want {
+		t.Fatal("recovery fetch corrupted content")
+	}
+}
+
+// TestRelayCanceledWhenClientsVanish pins the fetch-cancellation rule:
+// when every client attached to a relay disconnects mid-transfer, the
+// shared origin fetch is aborted instead of pulling the remainder over
+// the constrained path for nobody, and the proxy still reconciles to a
+// consistent state.
+func TestRelayCanceledWhenClientsVanish(t *testing.T) {
+	catalog := testCatalog(t)
+	gate := &gatedOrigin{catalog: catalog, firstBytes: 32 * units.KB, release: make(chan struct{})}
+	px, proxyURL := startGatedStack(t, catalog, gate)
+	// Unblock the (aborted) origin handler at cleanup so the httptest
+	// server can close.
+	var releaseOnce sync.Once
+	t.Cleanup(func() { releaseOnce.Do(func() { close(gate.release) }) })
+
+	resp, err := http.Get(proxyURL + "/objects/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the first flushed bytes, then walk away mid-transfer.
+	buf := make([]byte, 8*units.KB)
+	if _, err := io.ReadFull(resp.Body, buf); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// The sole client is gone: its detach must cancel the origin fetch,
+	// so Quiesce returns without the origin ever being released.
+	quiesced := make(chan struct{})
+	go func() {
+		px.Quiesce()
+		close(quiesced)
+	}()
+	select {
+	case <-quiesced:
+	case <-time.After(10 * time.Second):
+		t.Fatal("relay not canceled: Quiesce still blocked 10s after the last client left")
+	}
+
+	sh := px.shardFor(1)
+	sh.mu.Lock()
+	stored, acct := sh.store.Len(1), sh.cache.CachedBytes(1)
+	leaked := len(sh.inflight)
+	sh.mu.Unlock()
+	if stored != acct {
+		t.Errorf("store holds %d bytes, cache accounts %d", stored, acct)
+	}
+	if leaked != 0 {
+		t.Errorf("%d relays leaked past cancellation", leaked)
+	}
+	if got := px.Snapshot().BytesFetched; got > 32*units.KB {
+		t.Errorf("BytesFetched = %d, want <= 32 KB (fetch canceled, not drained)", got)
+	}
+}
+
+// rangeBlindOrigin ignores Range headers and always answers 200 with
+// the full object — the misbehaving-origin case for ranged refetches.
+type rangeBlindOrigin struct {
+	catalog *Catalog
+}
+
+func (o *rangeBlindOrigin) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	id, ok := parseObjectPath(req.URL.Path)
+	if !ok {
+		http.NotFound(w, req)
+		return
+	}
+	meta, _ := o.catalog.Get(id)
+	w.Header().Set("Content-Length", strconv.FormatInt(meta.Size, 10))
+	w.Write(Content(id, 0, meta.Size))
+}
+
+// TestRangedRefetchRejectsFullResponse pins the 206 requirement: an
+// origin that ignores Range and replies 200 must not have its body
+// spliced in at the requested offset — the refetch fails and the
+// cached prefix stays uncorrupted.
+func TestRangedRefetchRejectsFullResponse(t *testing.T) {
+	catalog := testCatalog(t)
+	meta, _ := catalog.Get(1)
+	origin, err := NewOrigin(catalog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyOrigin{inner: origin, failures: 1, bytesToServe: 32 * units.KB, catalog: catalog}
+	originSrv := httptest.NewServer(flaky)
+	defer originSrv.Close()
+	blindSrv := httptest.NewServer(&rangeBlindOrigin{catalog: catalog})
+	defer blindSrv.Close()
+
+	px, err := New(Config{
+		Catalog:    catalog,
+		OriginURL:  originSrv.URL,
+		CacheBytes: units.GBytes(1),
+		NewPolicy:  core.NewIB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxySrv := httptest.NewServer(px)
+	defer proxySrv.Close()
+
+	// Seed a 32 KB prefix via the aborting origin, so the next request
+	// must refetch with a Range header.
+	if res, err := Fetch(proxySrv.URL + "/objects/1"); err == nil && res.Bytes == meta.Size {
+		t.Fatal("flaky origin unexpectedly delivered the full object")
+	}
+	px.Quiesce()
+	if got := px.StoredBytes(1); got == 0 || got > 32*units.KB {
+		t.Fatalf("seeded prefix = %d bytes, want in (0, 32 KB]", got)
+	}
+	prefix := px.StoredBytes(1)
+
+	// Point the proxy at the range-blind origin for the refetch.
+	px.originURL = blindSrv.URL
+	px.origins[0] = blindSrv.URL
+	res, err := Fetch(proxySrv.URL + "/objects/1")
+	if err == nil && res.Bytes == meta.Size {
+		t.Fatal("full object delivered through a 200 answer to a ranged request")
+	}
+	px.Quiesce()
+	// The prefix must be untouched and still byte-correct.
+	if got := px.StoredBytes(1); got != prefix {
+		t.Errorf("prefix changed from %d to %d bytes after rejected refetch", prefix, got)
+	}
+	sh := px.shardFor(1)
+	want := Content(1, 0, prefix)
+	if got := sh.store.Prefix(1); string(got) != string(want) {
+		t.Error("cached prefix corrupted by range-blind origin")
+	}
+}
+
+func TestCatalogOrigins(t *testing.T) {
+	c, err := NewCatalog([]Meta{
+		{ID: 1, Size: 1, Rate: 1, Origin: "http://b"},
+		{ID: 2, Size: 1, Rate: 1, Origin: "http://a"},
+		{ID: 3, Size: 1, Rate: 1, Origin: "http://b"},
+		{ID: 4, Size: 1, Rate: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Origins()
+	if len(got) != 2 || got[0] != "http://a" || got[1] != "http://b" {
+		t.Errorf("Origins = %v, want [http://a http://b]", got)
+	}
+}
+
+func TestFetchResultHitBytes(t *testing.T) {
+	tests := []struct {
+		state string
+		want  int64
+	}{
+		{"HIT-PREFIX; bytes=4096", 4096},
+		{"MISS", 0},
+		{"", 0},
+		{"HIT-PREFIX; bytes=bogus", 0},
+	}
+	for _, tt := range tests {
+		r := &FetchResult{CacheState: tt.state}
+		if got := r.HitBytes(); got != tt.want {
+			t.Errorf("HitBytes(%q) = %d, want %d", tt.state, got, tt.want)
+		}
+	}
+}
