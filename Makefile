@@ -14,7 +14,7 @@ BENCHTIME ?= 2s
 BENCH_JSON ?= BENCH.json
 BENCH_BASELINE ?=
 
-.PHONY: all ci vet build test race bench bench-smoke bench-json fuzz-smoke figures docs-check shard-check proxy-check clean
+.PHONY: all ci vet build test race bench bench-smoke bench-json fuzz-smoke figures docs-check shard-check proxy-check load-check clean
 
 all: ci
 
@@ -88,6 +88,13 @@ shard-check:
 ## drain (OPERATIONS.md §8).
 proxy-check:
 	bash scripts/proxy-check.sh
+
+## load-check: open-loop smoke — schedule determinism across two dry
+## runs, a short ramp sweep against proxyd with nonzero goodput and a
+## stable live-capacity row schema, then a clean SIGTERM drain
+## (OPERATIONS.md §9).
+load-check:
+	bash scripts/load-check.sh
 
 clean:
 	rm -rf results shard-check

@@ -82,6 +82,8 @@ func run() error {
 		journal  = flag.String("journal", "", "checkpoint completed rows to this JSONL journal")
 		resume   = flag.Bool("resume", false, "skip rows already recorded in -journal (resume an interrupted run)")
 		merge    = flag.Bool("merge", false, "merge the per-shard JSONL outputs in -out into canonical CSV (and -jsonl) files, then exit")
+		knee     = flag.String("knee", "", "locate the SLO knee in this live-capacity CSV (from loadgen -mode open), print it, then exit")
+		kneeFrac = flag.Float64("knee-threshold", 0.1, "SLO-violation fraction that defines the knee for -knee")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -113,6 +115,9 @@ func run() error {
 		}()
 	}
 
+	if *knee != "" {
+		return reportKnee(*knee, *kneeFrac)
+	}
 	if *merge {
 		return mergeShardOutputs(*out, *jsonl)
 	}
@@ -209,6 +214,54 @@ func run() error {
 		indexName = fmt.Sprintf("INDEX.shard%d-of-%d.txt", s.Shard.Index, s.Shard.Count)
 	}
 	return os.WriteFile(filepath.Join(*out, indexName), []byte(index.String()), 0o644)
+}
+
+// reportKnee reads a live-capacity table (loadgen -mode open output)
+// and prints the first ramp level whose SLO-violation fraction crosses
+// the threshold — the proxy's measured capacity knee.
+func reportKnee(path string, threshold float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	t, err := experiments.ReadCSVTable(f)
+	if err != nil {
+		return err
+	}
+	col := func(name string) int {
+		for i, h := range t.Header {
+			if h == name {
+				return i
+			}
+		}
+		return -1
+	}
+	offered, frac := col("offered_rps"), col("slo_violation_frac")
+	if frac < 0 {
+		return fmt.Errorf("%s: no slo_violation_frac column (not a live-capacity table?)", path)
+	}
+	knee := experiments.FindKnee(t, threshold)
+	if knee < 0 {
+		fmt.Printf("no knee: slo_violation_frac never exceeds %g across %d levels\n", threshold, len(t.Rows))
+		return nil
+	}
+	row := t.Rows[knee]
+	if offered >= 0 && offered < len(row) {
+		fmt.Printf("knee at level %d: offered %s req/s, slo_violation_frac %s (threshold %g)\n",
+			knee, row[offered], row[frac], threshold)
+	} else {
+		fmt.Printf("knee at level %d: slo_violation_frac %s (threshold %g)\n", knee, row[frac], threshold)
+	}
+	// The rows before and after the knee bracket the capacity estimate;
+	// echo them so the operator sees the crossing context.
+	for i := knee - 1; i <= knee+1 && i < len(t.Rows); i++ {
+		if i < 0 {
+			continue
+		}
+		fmt.Printf("  level %d: %s\n", i, strings.Join(t.Rows[i], ","))
+	}
+	return nil
 }
 
 // shardFileName turns figure5_x.csv into figure5_x.shard0-of-2.jsonl.

@@ -1,15 +1,24 @@
-// Command loadgen is the closed-loop load harness for proxyd: it
-// regenerates the same Table 1 catalog the server built, drives the
-// Zipf request trace against the proxy with N concurrent closed-loop
-// clients (each issues its next request as soon as the previous
-// download completes), and reports the paper's live metrics — the
-// startup delay distribution, the bandwidth-weighted hit ratio (the
-// live traffic reduction ratio), and origin bytes — as a
-// RowSink-compatible table (CSV or JSONL), so live points can be laid
-// over the simulator's curves by the same tooling that plots them.
+// Command loadgen is the load harness for proxyd. It runs in two modes.
+//
+// Closed loop (-mode closed, the default): N concurrent clients, each
+// issuing its next request as soon as the previous download completes —
+// offered load is capped at the client count, so a saturated proxy
+// silently throttles the workload. Reports the paper's live metrics
+// (startup delay distribution, bandwidth-weighted hit ratio, origin
+// bytes) as a RowSink-compatible table (CSV or JSONL).
+//
+// Open loop (-mode open): arrivals fire from a deterministic schedule
+// regardless of how the proxy is keeping up; arrivals beyond the
+// in-flight cap are shed, not queued. This is how to measure capacity:
+// sweep -ramp levels of offered load and watch where the SLO-violation
+// fraction knees. Workload classes come from a JSON spec (-spec) or the
+// single-class -rate/-slo-ms flags, and -time-scale compresses workload
+// time onto the wall clock.
 //
 //	proxyd -proxy-addr 127.0.0.1:8081 -objects 50 &
 //	loadgen -proxy http://127.0.0.1:8081 -clients 8 -requests 500 -objects 50
+//	loadgen -proxy http://127.0.0.1:8081 -mode open -rate 20 -duration 30 \
+//	    -ramp 1,2,4,8 -slo-ms 1000 -objects 50
 //
 // Catalog flags (-objects, -mean-kb, -rate-kbps, -catalog-seed) must
 // match the running proxyd so object sizes and playback rates agree.
@@ -45,6 +54,7 @@ func main() {
 
 type options struct {
 	proxyURL    string
+	mode        string
 	clients     int
 	requests    int
 	objects     int
@@ -56,16 +66,29 @@ type options struct {
 	format      string
 	out         string
 	perRequest  string
+	perClass    string
 	wait        time.Duration
 	minHitRatio float64
 	verify      bool
+
+	// Open-loop mode.
+	spec        string
+	rate        float64
+	arrival     string
+	timeScale   float64
+	duration    float64
+	maxInflight int
+	ramp        string
+	sloMS       float64
+	scheduleOut string
+	dryRun      bool
 }
 
 func run() error {
 	var o options
 	flag.StringVar(&o.proxyURL, "proxy", "http://127.0.0.1:8081", "proxy base URL")
 	flag.IntVar(&o.clients, "clients", 4, "concurrent closed-loop clients")
-	flag.IntVar(&o.requests, "requests", 200, "total requests to issue")
+	flag.IntVar(&o.requests, "requests", 200, "closed: total requests to issue; open: cap on scheduled arrivals per level (only when set explicitly)")
 	flag.IntVar(&o.objects, "objects", 50, "catalog size (must match proxyd)")
 	flag.Int64Var(&o.meanKB, "mean-kb", 2048, "mean object size, KB (must match proxyd)")
 	flag.Float64Var(&o.rateKBps, "rate-kbps", 512, "object playback rate, KB/s (must match proxyd)")
@@ -78,7 +101,37 @@ func run() error {
 	flag.DurationVar(&o.wait, "wait", 10*time.Second, "wait up to this long for the proxy to become reachable")
 	flag.Float64Var(&o.minHitRatio, "min-hit-ratio", -1, "exit nonzero unless the bandwidth-weighted hit ratio reaches this (-1 = no check)")
 	flag.BoolVar(&o.verify, "verify", false, "verify every complete download against the expected content digest")
+	flag.StringVar(&o.mode, "mode", "closed", "load mode: closed (fixed clients) or open (scheduled arrivals)")
+	flag.StringVar(&o.spec, "spec", "", "open: JSON workload spec file (overrides -rate/-arrival/-slo-ms)")
+	flag.Float64Var(&o.rate, "rate", 10, "open: offered arrival rate, requests per workload second")
+	flag.StringVar(&o.arrival, "arrival", "poisson", "open: arrival process for the flag-driven class: poisson, trace or onoff")
+	flag.Float64Var(&o.timeScale, "time-scale", 1, "open: workload seconds replayed per wall second")
+	flag.Float64Var(&o.duration, "duration", 30, "open: workload horizon, workload seconds")
+	flag.IntVar(&o.maxInflight, "max-inflight", 256, "open: concurrent downloads before arrivals are shed")
+	flag.StringVar(&o.ramp, "ramp", "", "open: comma-separated offered-load multipliers, one level each (e.g. 1,2,4,8)")
+	flag.Float64Var(&o.sloMS, "slo-ms", 1000, "open: startup-delay SLO budget, ms, for the flag-driven class")
+	flag.StringVar(&o.scheduleOut, "schedule-out", "", "open: write the generated arrival schedule (JSONL/CSV per -format)")
+	flag.StringVar(&o.perClass, "per-class", "", "open: optional per-class breakdown table destination")
+	flag.BoolVar(&o.dryRun, "dry-run", false, "open: build and emit the schedule without issuing requests")
 	flag.Parse()
+	switch o.mode {
+	case "open":
+		// The closed-loop -requests default must not silently truncate an
+		// open-loop schedule; the cap applies only when the flag was given.
+		requestsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "requests" {
+				requestsSet = true
+			}
+		})
+		if !requestsSet {
+			o.requests = 0
+		}
+		return driveOpen(o)
+	case "closed":
+	default:
+		return fmt.Errorf("mode=%q, want closed or open", o.mode)
+	}
 	if o.clients <= 0 || o.requests <= 0 {
 		return fmt.Errorf("clients=%d requests=%d, want > 0", o.clients, o.requests)
 	}
@@ -284,6 +337,19 @@ func openOut(path string) (io.Writer, func() error, error) {
 		return os.Stdout, func() error { return nil }, nil
 	}
 	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// openOutAppend is openOut with optional append semantics, so per-level
+// tables of a ramp sweep can share one destination file.
+func openOutAppend(path string, appendTo bool) (io.Writer, func() error, error) {
+	if path == "-" || !appendTo {
+		return openOut(path)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}

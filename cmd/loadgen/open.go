@@ -1,0 +1,234 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"streamcache/internal/experiments"
+	"streamcache/internal/load"
+	"streamcache/internal/proxy"
+	"streamcache/internal/sim"
+	"streamcache/internal/workload"
+)
+
+// driveOpen runs the open-loop mode: build the workload spec, sweep the
+// ramp levels, and emit the live-capacity table plus any per-class,
+// per-request and schedule artifacts.
+func driveOpen(o options) error {
+	catalog, err := proxy.BuildCatalog(o.objects, o.meanKB, o.rateKBps, o.catalogSeed)
+	if err != nil {
+		return err
+	}
+	spec, err := openSpec(o)
+	if err != nil {
+		return err
+	}
+	trace, err := openTrace(o, spec)
+	if err != nil {
+		return err
+	}
+	levels, err := parseRamp(o.ramp)
+	if err != nil {
+		return err
+	}
+
+	if o.scheduleOut != "" || o.dryRun {
+		if err := emitSchedules(o, spec, catalog, trace, levels); err != nil {
+			return err
+		}
+	}
+	if o.dryRun {
+		return nil
+	}
+
+	if err := waitReachable(o.proxyURL, o.wait); err != nil {
+		return err
+	}
+
+	summaryW, closeSummary, err := openOut(o.out)
+	if err != nil {
+		return err
+	}
+	defer closeSummary()
+	summarySink := newSink(o, summaryW)
+	note := fmt.Sprintf("open-loop capacity sweep against %s: %d classes, horizon %gs, time-scale %g, max-inflight %d",
+		o.proxyURL, len(spec.Classes), o.duration, o.timeScale, o.maxInflight)
+	if err := summarySink.Begin(experiments.LiveCapacityMeta(note)); err != nil {
+		return err
+	}
+
+	var classSink experiments.RowSink
+	var closeClass func() error
+	if o.perClass != "" {
+		w, c, err := openOut(o.perClass)
+		if err != nil {
+			return err
+		}
+		closeClass = c
+		defer closeClass()
+		classSink = newSink(o, w)
+		if err := classSink.Begin(experiments.LiveClassMeta(note)); err != nil {
+			return err
+		}
+	}
+
+	totalCompleted := 0
+	for li, scale := range levels {
+		outcomes, report, err := load.Run(load.Options{
+			ProxyURL:    o.proxyURL,
+			Catalog:     catalog,
+			Spec:        spec,
+			Trace:       trace,
+			TimeScale:   o.timeScale,
+			Seed:        sim.SplitSeed(o.traceSeed, int64(li)),
+			MaxInflight: o.maxInflight,
+			Horizon:     o.duration,
+			MaxRequests: o.requests,
+			RateScale:   scale,
+			Verify:      o.verify,
+		})
+		if err != nil {
+			return fmt.Errorf("level %d (x%g): %w", li, scale, err)
+		}
+		totalCompleted += report.Total.Completed
+		if err := summarySink.Row(report.SummaryRow(li)); err != nil {
+			return err
+		}
+		if classSink != nil {
+			for _, row := range report.ClassRows(li) {
+				if err := classSink.Row(row); err != nil {
+					return err
+				}
+			}
+		}
+		if o.perRequest != "" {
+			if err := emitOpenOutcomes(o, li, outcomes); err != nil {
+				return err
+			}
+		}
+	}
+	if err := summarySink.End(); err != nil {
+		return err
+	}
+	if err := closeSummary(); err != nil {
+		return err
+	}
+	if classSink != nil {
+		if err := classSink.End(); err != nil {
+			return err
+		}
+		if err := closeClass(); err != nil {
+			return err
+		}
+	}
+	if totalCompleted == 0 {
+		return fmt.Errorf("no requests completed across %d ramp levels", len(levels))
+	}
+	return nil
+}
+
+// openSpec resolves the workload spec: a spec file wins, else the
+// single flag-driven class.
+func openSpec(o options) (*load.Spec, error) {
+	if o.spec != "" {
+		return load.ParseSpecFile(o.spec)
+	}
+	spec := load.SingleClass(o.rate, o.sloMS)
+	c := &spec.Classes[0]
+	c.ZipfAlpha = o.zipfAlpha
+	switch o.arrival {
+	case "poisson":
+	case "trace":
+		c.Arrival = load.ArrivalSpec{Process: "trace"}
+	case "onoff":
+		// Ten sources with a 1s-on/4s-off duty cycle whose aggregate mean
+		// matches -rate: peak = rate / (sources * 0.2).
+		c.Arrival = load.ArrivalSpec{Process: "onoff", Sources: 10, PeakRate: o.rate / 2}
+	default:
+		return nil, fmt.Errorf("arrival=%q, want poisson, trace or onoff", o.arrival)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// openTrace generates the request trace for trace-replay classes: a
+// Table 1 style trace over the proxyd catalog's objects at -rate
+// requests per second, long enough to cover the horizon.
+func openTrace(o options, spec *load.Spec) ([]workload.Request, error) {
+	if !spec.UsesTrace() {
+		return nil, nil
+	}
+	n := int(math.Ceil(o.rate*o.duration)) * 2
+	if n < o.requests {
+		n = o.requests
+	}
+	w, err := workload.Generate(workload.Config{
+		NumObjects:  o.objects,
+		NumRequests: n,
+		ZipfAlpha:   o.zipfAlpha,
+		RequestRate: o.rate,
+		Seed:        o.traceSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return w.Requests, nil
+}
+
+// parseRamp parses the -ramp multiplier list; empty means one level at 1.
+func parseRamp(s string) ([]float64, error) {
+	if s == "" {
+		return []float64{1}, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v <= 0 || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("ramp level %q, want finite > 0", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// emitSchedules writes the deterministic arrival schedule of every ramp
+// level — the byte-identical-across-runs artifact.
+func emitSchedules(o options, spec *load.Spec, catalog *proxy.Catalog, trace []workload.Request, levels []float64) error {
+	path := o.scheduleOut
+	if path == "" {
+		path = "-"
+	}
+	w, closeOut, err := openOut(path)
+	if err != nil {
+		return err
+	}
+	defer closeOut()
+	sink := newSink(o, w)
+	for li, scale := range levels {
+		items, err := load.BuildSchedule(spec, catalog, trace, sim.SplitSeed(o.traceSeed, int64(li)), o.duration, o.requests, scale)
+		if err != nil {
+			return fmt.Errorf("level %d (x%g): %w", li, scale, err)
+		}
+		if err := load.WriteSchedule(sink, fmt.Sprintf("open-schedule-L%d", li), items); err != nil {
+			return err
+		}
+	}
+	return closeOut()
+}
+
+// emitOpenOutcomes appends one level's per-arrival outcome table to the
+// -per-request destination (one table per level, shared file).
+func emitOpenOutcomes(o options, level int, outcomes []load.Outcome) error {
+	w, closeOut, err := openOutAppend(o.perRequest, level > 0)
+	if err != nil {
+		return err
+	}
+	defer closeOut()
+	sink := newSink(o, w)
+	return load.WriteOutcomes(sink, fmt.Sprintf("open-requests-L%d", level), outcomes)
+}

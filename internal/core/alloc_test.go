@@ -119,3 +119,34 @@ func BenchmarkAccess(b *testing.B) {
 		}
 	})
 }
+
+// TestResetReuseAllocFree pins the cache-pooling contract: once a
+// cache's tables, heap and scratch have grown to cover the population,
+// Reset + a full re-run of accesses performs zero heap allocations.
+func TestResetReuseAllocFree(t *testing.T) {
+	const nObjects = 64
+	c, err := New(64*units.MB, NewPB(), WithExpectedObjects(nObjects))
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]Object, nObjects)
+	for i := range objs {
+		size := int64(i%16+1) * 64 * units.KB
+		objs[i] = Object{ID: i, Size: size, Duration: 60, Rate: float64(size) / 60, Value: 1}
+	}
+	for i, o := range objs {
+		c.Access(o, o.Rate/2, float64(i))
+	}
+	policy := NewPB() // stateless: safe to reuse across Resets
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := c.Reset(64*units.MB, policy, WithExpectedObjects(nObjects)); err != nil {
+			t.Fatal(err)
+		}
+		for i, o := range objs {
+			c.Access(o, o.Rate/2, float64(i))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Reset+refill allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -437,3 +437,92 @@ func TestTruncate(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestResetMatchesFresh drives a pooled-and-Reset cache and a freshly
+// constructed one through the same randomized access sequence and
+// requires identical observable behavior — the contract that lets the
+// sweep engine reuse cache tables across runs without perturbing
+// results.
+func TestResetMatchesFresh(t *testing.T) {
+	const nObjects = 48
+	objs := make([]Object, nObjects)
+	for i := range objs {
+		objs[i] = smallObject(i, int64(i%12+1)*16)
+	}
+	// Dirty a cache under one policy, then Reset it into the test config.
+	pooled, err := New(512*units.KB, NewIB(), WithExpectedObjects(nObjects))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 300; i++ {
+		o := objs[rng.Intn(nObjects)]
+		pooled.Access(o, o.Rate/2, float64(i))
+	}
+	if err := pooled.Reset(256*units.KB, NewLRU(), WithExpectedObjects(nObjects)); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(256*units.KB, NewLRU(), WithExpectedObjects(nObjects))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if pooled.Used() != 0 || pooled.Len() != 0 {
+		t.Fatalf("after Reset: used=%d len=%d, want 0/0", pooled.Used(), pooled.Len())
+	}
+	rng = rand.New(rand.NewSource(22))
+	for i := 0; i < 600; i++ {
+		o := objs[rng.Intn(nObjects)]
+		bw := o.Rate * (0.25 + rng.Float64())
+		now := float64(i)
+		a := pooled.Access(o, bw, now)
+		b := fresh.Access(o, bw, now)
+		if a.HitBytes != b.HitBytes || a.CachedAfter != b.CachedAfter ||
+			a.Target != b.Target || a.EvictedBytes != b.EvictedBytes {
+			t.Fatalf("access %d diverged: reset=%+v fresh=%+v", i, a, b)
+		}
+	}
+	if pooled.Used() != fresh.Used() || pooled.Len() != fresh.Len() {
+		t.Fatalf("final state diverged: reset used=%d len=%d, fresh used=%d len=%d",
+			pooled.Used(), pooled.Len(), fresh.Used(), fresh.Len())
+	}
+	if err := pooled.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetValidation(t *testing.T) {
+	c, err := New(units.MB, NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reset(-1, NewLRU()); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if err := c.Reset(units.MB, nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+}
+
+// TestResetClearsWholeEviction ensures option state does not leak from
+// the pre-Reset configuration.
+func TestResetClearsWholeEviction(t *testing.T) {
+	c, err := New(96*units.KB, NewLRU(), WithWholeObjectEviction(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reset(96*units.KB, NewLRU()); err != nil {
+		t.Fatal(err)
+	}
+	// With byte-granular (default) eviction, admitting a second object
+	// shrinks the victim instead of removing it entirely.
+	c.Access(smallObject(0, 64), 1, 0)
+	c.Access(smallObject(1, 64), 1, 1)
+	c.Access(smallObject(1, 64), 1, 2)
+	if got := c.CachedBytes(0); got == 0 {
+		t.Error("whole-object eviction leaked through Reset: victim fully removed")
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

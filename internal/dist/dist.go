@@ -122,6 +122,54 @@ func (z *Zipf) Sample(rng *rand.Rand) int {
 	return i + 1
 }
 
+// Pareto is the Pareto (power-law) distribution with minimum Scale and
+// tail index Shape: P(X > x) = (Scale/x)^Shape for x >= Scale. Shapes
+// in (1, 2) have a finite mean but infinite variance — the heavy-tailed
+// on/off periods whose superposition produces self-similar arrival
+// streams (Willinger et al.), used by the open-loop load generator's
+// bursty arrival process.
+type Pareto struct {
+	Shape float64 // tail index, > 0
+	Scale float64 // minimum value, > 0
+}
+
+// NewPareto validates the parameters.
+func NewPareto(shape, scale float64) (Pareto, error) {
+	if shape <= 0 || math.IsNaN(shape) || math.IsInf(shape, 0) {
+		return Pareto{}, fmt.Errorf("%w: pareto shape=%v, want finite > 0", ErrBadParam, shape)
+	}
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return Pareto{}, fmt.Errorf("%w: pareto scale=%v, want finite > 0", ErrBadParam, scale)
+	}
+	return Pareto{Shape: shape, Scale: scale}, nil
+}
+
+// ParetoWithMean returns the Pareto with the given tail index whose mean
+// is exactly mean (requires shape > 1, where the mean is finite).
+func ParetoWithMean(shape, mean float64) (Pareto, error) {
+	if shape <= 1 || math.IsNaN(shape) || math.IsInf(shape, 0) {
+		return Pareto{}, fmt.Errorf("%w: pareto shape=%v, want finite > 1 for a finite mean", ErrBadParam, shape)
+	}
+	if mean <= 0 || math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return Pareto{}, fmt.Errorf("%w: pareto mean=%v, want finite > 0", ErrBadParam, mean)
+	}
+	return NewPareto(shape, mean*(shape-1)/shape)
+}
+
+// Sample draws one Pareto variate by inverse transform.
+func (p Pareto) Sample(rng *rand.Rand) float64 {
+	// 1-U avoids U==0, which would send the variate to +Inf.
+	return p.Scale / math.Pow(1-rng.Float64(), 1/p.Shape)
+}
+
+// Mean returns Shape*Scale/(Shape-1), or +Inf for Shape <= 1.
+func (p Pareto) Mean() float64 {
+	if p.Shape <= 1 {
+		return math.Inf(1)
+	}
+	return p.Shape * p.Scale / (p.Shape - 1)
+}
+
 // PoissonProcess generates the arrival times of a homogeneous Poisson
 // process: successive Next calls return strictly increasing timestamps
 // whose inter-arrival gaps are Exp(rate). The zero time origin is 0.

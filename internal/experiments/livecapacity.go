@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The live-capacity row schemas: the open-loop load engine
+// (internal/load) emits its ramp-sweep results in these shapes so the
+// figures tooling can plot goodput vs offered load and locate the SLO
+// knee with the same machinery that renders simulator tables.
+
+// LiveCapacityHeader is the per-ramp-level summary schema. One row per
+// level; offered_rps is monotone in a well-formed ramp, and the knee is
+// the first level where slo_violation_frac crosses the operator's
+// threshold.
+var LiveCapacityHeader = []string{
+	"level", "rate_scale", "time_scale",
+	"offered_rps", "achieved_rps", "goodput_rps", "goodput_kbps",
+	"issued", "completed", "shed", "failed",
+	"slo_violation_frac",
+	"delay_p50_ms", "delay_p90_ms", "delay_p99_ms",
+	"prefix_hit_ratio", "bw_hit_ratio", "wall_seconds",
+}
+
+// LiveClassHeader is the per-(level, class) breakdown schema.
+var LiveClassHeader = []string{
+	"level", "class", "slo_ms",
+	"offered_rps", "achieved_rps",
+	"issued", "completed", "shed", "failed",
+	"slo_violation_frac",
+	"delay_p50_ms", "delay_p90_ms", "delay_p99_ms",
+}
+
+// LiveCapacityMeta builds the summary table identity for one ramp sweep.
+func LiveCapacityMeta(note string) TableMeta {
+	return TableMeta{Name: "live-capacity", Note: note, Header: LiveCapacityHeader}
+}
+
+// LiveClassMeta builds the per-class table identity for one ramp sweep.
+func LiveClassMeta(note string) TableMeta {
+	return TableMeta{Name: "live-capacity-classes", Note: note, Header: LiveClassHeader}
+}
+
+// FindKnee locates the SLO knee in a live-capacity table: the index of
+// the first row whose slo_violation_frac strictly exceeds threshold.
+// Returns -1 when no row crosses (the sweep never saturated the proxy)
+// or when the table lacks the needed columns.
+func FindKnee(t *Table, threshold float64) int {
+	col := -1
+	for i, h := range t.Header {
+		if h == "slo_violation_frac" {
+			col = i
+		}
+	}
+	if col < 0 {
+		return -1
+	}
+	for i, row := range t.Rows {
+		if col >= len(row) {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			continue
+		}
+		if v > threshold {
+			return i
+		}
+	}
+	return -1
+}
+
+// ReadCSVTable parses a table in the CSVSink rendering: a `# name`
+// comment line, an optional `# note` line, the comma-joined header,
+// then one comma-joined line per row. This is the inverse of streaming
+// a table through NewCSVSink, used by tooling (cmd/figures -knee) that
+// consumes live-capacity output.
+func ReadCSVTable(r io.Reader) (*Table, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	t := &Table{}
+	sawHeader := false
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# ") {
+			if t.Name == "" {
+				t.Name = strings.TrimPrefix(line, "# ")
+			} else if t.Note == "" && !sawHeader {
+				t.Note = strings.TrimPrefix(line, "# ")
+			}
+			continue
+		}
+		cells := strings.Split(line, ",")
+		if !sawHeader {
+			t.Header = cells
+			sawHeader = true
+			continue
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: read csv table: %w", err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("experiments: read csv table: no header line")
+	}
+	return t, nil
+}

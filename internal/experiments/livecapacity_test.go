@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFindKnee(t *testing.T) {
+	table := &Table{
+		Header: LiveCapacityHeader,
+		Rows: [][]string{
+			make([]string, len(LiveCapacityHeader)),
+			make([]string, len(LiveCapacityHeader)),
+			make([]string, len(LiveCapacityHeader)),
+		},
+	}
+	col := -1
+	for i, h := range LiveCapacityHeader {
+		if h == "slo_violation_frac" {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatal("LiveCapacityHeader lost slo_violation_frac")
+	}
+	for i, v := range []string{"0.0100", "0.0500", "0.7200"} {
+		for j := range table.Rows[i] {
+			table.Rows[i][j] = "0"
+		}
+		table.Rows[i][col] = v
+	}
+	if got := FindKnee(table, 0.1); got != 2 {
+		t.Errorf("FindKnee(0.1) = %d, want 2", got)
+	}
+	if got := FindKnee(table, 0.03); got != 1 {
+		t.Errorf("FindKnee(0.03) = %d, want 1", got)
+	}
+	if got := FindKnee(table, 0.9); got != -1 {
+		t.Errorf("FindKnee(0.9) = %d, want -1 (never crosses)", got)
+	}
+	if got := FindKnee(&Table{Header: []string{"x"}}, 0.1); got != -1 {
+		t.Errorf("FindKnee without the column = %d, want -1", got)
+	}
+}
+
+func TestReadCSVTableRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewCSVSink(&buf)
+	meta := TableMeta{Name: "live-capacity", Note: "a note", Header: []string{"a", "b"}}
+	if err := sink.Begin(meta); err != nil {
+		t.Fatal(err)
+	}
+	rows := [][]string{{"1", "2.5"}, {"3", "4.5"}}
+	for _, r := range rows {
+		if err := sink.Row(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.End(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadCSVTable(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSVTable: %v", err)
+	}
+	if got.Name != meta.Name || got.Note != meta.Note {
+		t.Errorf("identity = (%q, %q), want (%q, %q)", got.Name, got.Note, meta.Name, meta.Note)
+	}
+	if len(got.Header) != 2 || got.Header[0] != "a" || got.Header[1] != "b" {
+		t.Errorf("header = %v", got.Header)
+	}
+	if len(got.Rows) != 2 || got.Rows[1][1] != "4.5" {
+		t.Errorf("rows = %v", got.Rows)
+	}
+
+	if _, err := ReadCSVTable(strings.NewReader("")); err == nil {
+		t.Error("ReadCSVTable accepted an empty stream")
+	}
+}

@@ -1,0 +1,121 @@
+package load
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"streamcache/internal/experiments"
+	"streamcache/internal/proxy"
+	"streamcache/internal/workload"
+)
+
+// scheduleBytes builds the schedule for (spec, seed) and renders it the
+// way `loadgen -schedule-out` does, returning the emitted bytes.
+func scheduleBytes(t *testing.T, spec *Spec, catalog *proxy.Catalog, trace []workload.Request, seed int64) []byte {
+	t.Helper()
+	items, err := BuildSchedule(spec, catalog, trace, seed, 60, 0, 1)
+	if err != nil {
+		t.Fatalf("BuildSchedule: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSchedule(experiments.NewJSONLSink(&buf), "schedule", items); err != nil {
+		t.Fatalf("WriteSchedule: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestScheduleByteIdenticalAcrossRuns(t *testing.T) {
+	// The determinism regression: identical (seed, spec, trace) inputs
+	// must produce byte-identical schedule artifacts run over run. This
+	// is the contract `scripts/load-check.sh` re-checks end to end
+	// through the loadgen binary.
+	catalog, err := proxy.BuildCatalog(20, 64, 512, 1)
+	if err != nil {
+		t.Fatalf("BuildCatalog: %v", err)
+	}
+	w, err := workload.Generate(workload.Config{NumObjects: 20, NumRequests: 300, Seed: 7})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	spec, err := ParseSpec(strings.NewReader(`{
+	  "classes": [
+	    {"name": "vod", "arrival": {"process": "poisson", "rate": 8},
+	     "viewing": {"dist": "uniform"}, "slo": {"class": "standard"}},
+	    {"name": "burst", "arrival": {"process": "onoff", "sources": 10, "peak_rate": 3},
+	     "slo": {"class": "interactive"}},
+	    {"name": "replay", "arrival": {"process": "trace"}, "slo": {"class": "relaxed"}}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+
+	first := scheduleBytes(t, spec, catalog, w.Requests, 42)
+	second := scheduleBytes(t, spec, catalog, w.Requests, 42)
+	if !bytes.Equal(first, second) {
+		t.Fatal("same seed produced different schedule bytes")
+	}
+	if len(first) == 0 || bytes.Count(first, []byte("\n")) < 100 {
+		t.Fatalf("suspiciously small schedule: %d bytes", len(first))
+	}
+	other := scheduleBytes(t, spec, catalog, w.Requests, 43)
+	if bytes.Equal(first, other) {
+		t.Fatal("different seeds produced identical schedule bytes")
+	}
+}
+
+func TestBuildScheduleShape(t *testing.T) {
+	catalog, err := proxy.BuildCatalog(10, 64, 512, 1)
+	if err != nil {
+		t.Fatalf("BuildCatalog: %v", err)
+	}
+	spec := SingleClass(20, 1000)
+	items, err := BuildSchedule(spec, catalog, nil, 5, 30, 0, 1)
+	if err != nil {
+		t.Fatalf("BuildSchedule: %v", err)
+	}
+	if len(items) < 300 {
+		t.Fatalf("%d items for 20 rps x 30 s, want ~600", len(items))
+	}
+	for i, it := range items {
+		if it.Index != i {
+			t.Fatalf("item %d has Index %d", i, it.Index)
+		}
+		if i > 0 && it.Time < items[i-1].Time {
+			t.Fatalf("schedule out of order at %d", i)
+		}
+		if it.Fraction <= 0 || it.Fraction > 1 {
+			t.Fatalf("item %d fraction %v outside (0, 1]", i, it.Fraction)
+		}
+		if _, ok := catalog.Get(it.ObjectID); !ok {
+			t.Fatalf("item %d references unknown object %d", i, it.ObjectID)
+		}
+	}
+
+	// maxRequests truncates; rateScale multiplies the offered volume.
+	capped, err := BuildSchedule(spec, catalog, nil, 5, 30, 50, 1)
+	if err != nil {
+		t.Fatalf("BuildSchedule capped: %v", err)
+	}
+	if len(capped) != 50 {
+		t.Fatalf("capped schedule has %d items, want 50", len(capped))
+	}
+	doubled, err := BuildSchedule(spec, catalog, nil, 5, 30, 0, 2)
+	if err != nil {
+		t.Fatalf("BuildSchedule x2: %v", err)
+	}
+	if ratio := float64(len(doubled)) / float64(len(items)); ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("rate scale 2 produced %dx the arrivals, want ~2x", int(ratio*100)/100)
+	}
+
+	// A trace class with no trace supplied is a configuration error.
+	traceSpec, err := ParseSpec(strings.NewReader(`{"classes": [
+	  {"name": "r", "arrival": {"process": "trace"}, "slo": {"class": "standard"}}]}`))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if _, err := BuildSchedule(traceSpec, catalog, nil, 5, 30, 0, 1); err == nil {
+		t.Fatal("BuildSchedule accepted a trace class without a trace")
+	}
+}

@@ -1,0 +1,36 @@
+// Package load is the open-loop, time-compressed load engine for the
+// live proxy tier. Where cmd/loadgen's original closed-loop harness
+// caps offered load at the client count (each client issues its next
+// request only after the previous download finishes, so a saturated
+// proxy silently throttles the workload), this package generates
+// arrivals from a clock: requests fire at scheduled times regardless of
+// how the proxy is doing, which is the only way to observe queueing
+// collapse and locate the knee where startup-delay SLOs break.
+//
+// The pieces:
+//
+//   - Arrival processes (Process): Poisson, exact trace-timestamp
+//     replay, and a self-similar/bursty process built from superposed
+//     on-off sources with heavy-tailed (Pareto) period lengths.
+//   - Multi-class workload specs (Spec, ParseSpec): each class binds an
+//     arrival process, a viewing-duration distribution
+//     (workload.Viewing), an object-popularity skew, and an SLO class
+//     (startup-delay budget), loaded from a JSON file.
+//   - A deterministic schedule builder (BuildSchedule): arrival streams
+//     are seed-split per class with sim.SplitSeed, so identical
+//     (seed, spec) inputs produce byte-identical schedules — the live
+//     analog of the simulator's bit-identical-at-any-parallelism
+//     contract.
+//   - The open-loop engine (Run): replays a schedule against a live
+//     proxy under a -time-scale compression factor (replay a simulated
+//     day in minutes), bounding concurrency with an in-flight cap and
+//     shedding arrivals that exceed it instead of queueing them (which
+//     would silently converge back to closed-loop behavior). Every
+//     scheduled arrival is accounted for: issued == completed + shed +
+//     failed.
+//
+// Results flow through the experiments.RowSink seam using the
+// live-capacity row schema (experiments.LiveCapacityHeader), so ramp
+// sweeps plot with the same tooling as the simulator's tables and
+// experiments.FindKnee can locate the SLO knee.
+package load

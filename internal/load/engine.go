@@ -1,0 +1,373 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"streamcache/internal/dist"
+	"streamcache/internal/experiments"
+	"streamcache/internal/proxy"
+	"streamcache/internal/sim"
+	"streamcache/internal/workload"
+)
+
+// ErrBadRun reports an invalid engine configuration.
+var ErrBadRun = errors.New("load: invalid run")
+
+// Item is one scheduled arrival: the request the engine will fire at
+// Time workload seconds, already bound to an object and a watched
+// prefix so the schedule is a complete, replayable artifact.
+type Item struct {
+	Index    int     // position in the merged schedule
+	Time     float64 // workload seconds from run start, strictly positive
+	Class    string
+	ClassIdx int     // index into Spec.Classes
+	ObjectID int
+	Fraction float64 // watched fraction of the stream, in (0, 1]
+	// WatchBytes is the byte budget handed to proxy.FetchN: 0 means
+	// download everything (Fraction == 1).
+	WatchBytes int64
+}
+
+// BuildSchedule expands a spec into the merged arrival schedule for one
+// ramp level. Each class draws from its own rng seeded with
+// sim.SplitSeed(seed, classIdx), so the schedule is a pure function of
+// (spec, seed, horizon, maxRequests, rateScale) — byte-identical across
+// runs and independent of anything the engine later measures. Trace
+// classes replay trace's request sequence (timestamps compressed by
+// rateScale); synthetic classes sample objects from the catalog with
+// the class's Zipf skew. maxRequests > 0 truncates the merged schedule.
+func BuildSchedule(spec *Spec, catalog *proxy.Catalog, trace []workload.Request, seed int64, horizon float64, maxRequests int, rateScale float64) ([]Item, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if catalog == nil || catalog.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty catalog", ErrBadRun)
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("%w: horizon = %v, want > 0", ErrBadRun, horizon)
+	}
+	if rateScale <= 0 {
+		return nil, fmt.Errorf("%w: rate scale = %v, want > 0", ErrBadRun, rateScale)
+	}
+	if spec.UsesTrace() && len(trace) == 0 {
+		return nil, fmt.Errorf("%w: spec has a trace class but no trace was supplied", ErrBadRun)
+	}
+
+	ids := catalog.IDs()
+	var items []Item
+	for ci := range spec.Classes {
+		c := &spec.Classes[ci]
+		rng := rand.New(rand.NewSource(sim.SplitSeed(seed, int64(ci))))
+		if c.Arrival.Process == "trace" {
+			items = append(items, replayItems(c, ci, catalog, trace, horizon, rateScale)...)
+			continue
+		}
+		classItems, err := syntheticItems(c, ci, catalog, ids, rng, horizon, rateScale)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, classItems...)
+	}
+
+	// Merge the per-class streams into one arrival order. The stable sort
+	// preserves each class's internal sequence, and (Time, ClassIdx)
+	// breaks cross-class ties deterministically.
+	sort.SliceStable(items, func(i, j int) bool {
+		if items[i].Time != items[j].Time {
+			return items[i].Time < items[j].Time
+		}
+		return items[i].ClassIdx < items[j].ClassIdx
+	})
+	if maxRequests > 0 && len(items) > maxRequests {
+		items = items[:maxRequests]
+	}
+	for i := range items {
+		items[i].Index = i
+	}
+	return items, nil
+}
+
+// replayItems converts the trace's own request sequence into schedule
+// items, compressing timestamps by rateScale to scale offered load.
+func replayItems(c *Class, ci int, catalog *proxy.Catalog, trace []workload.Request, horizon, rateScale float64) []Item {
+	var out []Item
+	for _, req := range trace {
+		if req.Time <= 0 {
+			continue
+		}
+		t := req.Time / rateScale
+		if t > horizon {
+			break
+		}
+		meta, ok := catalog.Get(req.ObjectID)
+		if !ok {
+			continue
+		}
+		out = append(out, Item{
+			Time:       t,
+			Class:      c.Name,
+			ClassIdx:   ci,
+			ObjectID:   req.ObjectID,
+			Fraction:   req.Fraction,
+			WatchBytes: watchBytes(meta.Size, req.Fraction),
+		})
+	}
+	return out
+}
+
+// syntheticItems generates one synthetic class's arrivals and binds each
+// to a sampled object and watched fraction.
+func syntheticItems(c *Class, ci int, catalog *proxy.Catalog, ids []int, rng *rand.Rand, horizon, rateScale float64) ([]Item, error) {
+	zipf, err := dist.NewZipf(len(ids), c.ZipfAlpha)
+	if err != nil {
+		return nil, fmt.Errorf("load: class %q: %w", c.Name, err)
+	}
+	viewing, err := c.ViewingDist().Validate()
+	if err != nil {
+		return nil, fmt.Errorf("load: class %q: %w", c.Name, err)
+	}
+	times := c.process(nil, rateScale).Times(rng, horizon)
+	out := make([]Item, 0, len(times))
+	for _, t := range times {
+		id := ids[zipf.Sample(rng)-1] // rank r -> r-th hottest catalog object
+		meta, _ := catalog.Get(id)
+		frac := viewing.Fraction(rng, meta.Duration)
+		out = append(out, Item{
+			Time:       t,
+			Class:      c.Name,
+			ClassIdx:   ci,
+			ObjectID:   id,
+			Fraction:   frac,
+			WatchBytes: watchBytes(meta.Size, frac),
+		})
+	}
+	return out, nil
+}
+
+// watchBytes converts a watched fraction into a FetchN byte budget:
+// full sessions get 0 (download everything, digest verifiable), partial
+// sessions at least one byte.
+func watchBytes(size int64, fraction float64) int64 {
+	if fraction >= 1 {
+		return 0
+	}
+	n := int64(fraction * float64(size))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ScheduleHeader is the row schema of a serialized schedule.
+var ScheduleHeader = []string{"index", "time_s", "class", "object_id", "fraction", "watch_bytes"}
+
+// WriteSchedule streams a schedule through a RowSink. The rendering is
+// fixed-format ('g' floats, no locale), so for a deterministic schedule
+// the emitted bytes are deterministic too — this is the artifact the
+// determinism regression test diffs.
+func WriteSchedule(sink experiments.RowSink, name string, items []Item) error {
+	meta := experiments.TableMeta{
+		Name:   name,
+		Note:   "open-loop arrival schedule; times in workload seconds",
+		Header: ScheduleHeader,
+	}
+	if err := sink.Begin(meta); err != nil {
+		return err
+	}
+	for _, it := range items {
+		row := []string{
+			strconv.Itoa(it.Index),
+			strconv.FormatFloat(it.Time, 'g', -1, 64),
+			it.Class,
+			strconv.Itoa(it.ObjectID),
+			strconv.FormatFloat(it.Fraction, 'g', -1, 64),
+			strconv.FormatInt(it.WatchBytes, 10),
+		}
+		if err := sink.Row(row); err != nil {
+			return err
+		}
+	}
+	return sink.End()
+}
+
+// State classifies the fate of one scheduled arrival.
+type State uint8
+
+// The possible fates. Every scheduled arrival ends in exactly one:
+// issued == completed + shed + failed.
+const (
+	// Completed: the download finished (for the watched prefix).
+	Completed State = iota
+	// Shed: the arrival fired while the in-flight cap was saturated and
+	// was dropped without issuing a request. Shedding — rather than
+	// queueing — is what keeps the generator open-loop: a queued arrival
+	// would wait for capacity and silently turn the experiment back into
+	// a closed loop.
+	Shed
+	// Failed: the request was issued but errored (connection refused,
+	// non-200, read error, digest mismatch).
+	Failed
+)
+
+// String returns the state's report label.
+func (s State) String() string {
+	switch s {
+	case Completed:
+		return "completed"
+	case Shed:
+		return "shed"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Outcome is the measured fate of one scheduled arrival.
+type Outcome struct {
+	Item     Item
+	State    State
+	Startup  time.Duration // startup delay at the object's playback rate
+	TTFB     time.Duration
+	Elapsed  time.Duration
+	Bytes    int64
+	HitBytes int64
+	Err      string // non-empty iff State == Failed
+}
+
+// Options configures one open-loop run.
+type Options struct {
+	// ProxyURL is the base URL of the proxy under test (required).
+	ProxyURL string
+	// Catalog is the object directory (required).
+	Catalog *proxy.Catalog
+	// Spec is the validated workload spec (required).
+	Spec *Spec
+	// Trace supplies timestamps and object IDs for trace-replay classes.
+	Trace []workload.Request
+	// TimeScale compresses workload time: a scheduled arrival at
+	// workload second t fires at wall second t/TimeScale, so TimeScale 60
+	// replays an hour of workload per wall minute (default 1).
+	TimeScale float64
+	// Seed drives schedule generation (see BuildSchedule).
+	Seed int64
+	// MaxInflight bounds concurrent downloads; arrivals beyond it are
+	// shed (default 256).
+	MaxInflight int
+	// Horizon is the workload-seconds span to generate (required > 0).
+	Horizon float64
+	// MaxRequests truncates the schedule (0 = no cap).
+	MaxRequests int
+	// RateScale multiplies every class's offered rate — the ramp-sweep
+	// level (default 1).
+	RateScale float64
+	// Verify checks full-download digests against the catalog content.
+	Verify bool
+}
+
+func (o Options) normalize() (Options, error) {
+	if o.ProxyURL == "" {
+		return o, fmt.Errorf("%w: no proxy URL", ErrBadRun)
+	}
+	if o.Spec == nil {
+		return o, fmt.Errorf("%w: no spec", ErrBadRun)
+	}
+	if o.TimeScale == 0 {
+		o.TimeScale = 1
+	}
+	if o.TimeScale < 0 {
+		return o, fmt.Errorf("%w: time scale = %v, want > 0", ErrBadRun, o.TimeScale)
+	}
+	if o.MaxInflight == 0 {
+		o.MaxInflight = 256
+	}
+	if o.MaxInflight < 0 {
+		return o, fmt.Errorf("%w: max inflight = %d, want > 0", ErrBadRun, o.MaxInflight)
+	}
+	if o.RateScale == 0 {
+		o.RateScale = 1
+	}
+	return o, nil
+}
+
+// Run executes one open-loop run: it builds the schedule, fires each
+// arrival at its compressed wall time regardless of how the proxy is
+// keeping up, sheds arrivals that exceed the in-flight cap, and returns
+// the per-arrival outcomes plus a summary report. The schedule is
+// deterministic; the measured outcomes of course are not.
+func Run(opts Options) ([]Outcome, *Report, error) {
+	opts, err := opts.normalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	items, err := BuildSchedule(opts.Spec, opts.Catalog, opts.Trace, opts.Seed, opts.Horizon, opts.MaxRequests, opts.RateScale)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	outcomes := make([]Outcome, len(items))
+	sem := make(chan struct{}, opts.MaxInflight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, it := range items {
+		due := time.Duration(it.Time / opts.TimeScale * float64(time.Second))
+		if sleep := due - time.Since(start); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int, it Item) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				outcomes[i] = fetchOne(opts, it)
+			}(i, it)
+		default:
+			// Saturated: drop the arrival on the floor and account for it.
+			outcomes[i] = Outcome{Item: it, State: Shed}
+		}
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	report := Summarize(opts.Spec, outcomes, wall, opts.TimeScale, opts.RateScale)
+	return outcomes, report, nil
+}
+
+// fetchOne issues one request and classifies the result.
+func fetchOne(opts Options, it Item) Outcome {
+	out := Outcome{Item: it}
+	res, err := proxy.FetchN(fmt.Sprintf("%s/objects/%d", opts.ProxyURL, it.ObjectID), it.WatchBytes)
+	if err != nil {
+		out.State = Failed
+		out.Err = err.Error()
+		return out
+	}
+	meta, ok := opts.Catalog.Get(it.ObjectID)
+	if opts.Verify && ok && it.WatchBytes == 0 {
+		if want := proxy.ContentSHA256(it.ObjectID, meta.Size); res.SHA256 != want {
+			out.State = Failed
+			out.Err = "digest mismatch"
+			return out
+		}
+	}
+	out.State = Completed
+	out.TTFB = res.TTFB
+	out.Elapsed = res.Elapsed
+	out.Bytes = res.Bytes
+	out.HitBytes = res.HitBytes()
+	if ok {
+		// Startup delay is judged at the compressed playback rate: when
+		// TimeScale compresses workload time, the client must also drain
+		// the stream proportionally faster for the delay to mean the same
+		// thing it does at full scale.
+		out.Startup = res.StartupDelay(meta.Rate * opts.TimeScale)
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package load
+
+import (
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"streamcache/internal/core"
+	"streamcache/internal/experiments"
+	"streamcache/internal/proxy"
+	"streamcache/internal/units"
+)
+
+// startStack brings up an in-process origin + proxy pair and returns
+// the catalog and the proxy's base URL.
+func startStack(t *testing.T, objects int, meanKB int64, originKBps float64, cacheBytes int64) (*proxy.Catalog, string) {
+	t.Helper()
+	catalog, err := proxy.BuildCatalog(objects, meanKB, 512, 1)
+	if err != nil {
+		t.Fatalf("BuildCatalog: %v", err)
+	}
+	origin, err := proxy.NewOrigin(catalog, units.KBps(originKBps))
+	if err != nil {
+		t.Fatalf("NewOrigin: %v", err)
+	}
+	originSrv := httptest.NewServer(origin)
+	t.Cleanup(originSrv.Close)
+	px, err := proxy.New(proxy.Config{
+		Catalog:    catalog,
+		OriginURL:  originSrv.URL,
+		CacheBytes: cacheBytes,
+		NewPolicy: func() core.Policy {
+			p, err := core.PolicyByName("LRU", 0.5)
+			if err != nil {
+				panic(err)
+			}
+			return p
+		},
+	})
+	if err != nil {
+		t.Fatalf("proxy.New: %v", err)
+	}
+	proxySrv := httptest.NewServer(px)
+	t.Cleanup(proxySrv.Close)
+	return catalog, proxySrv.URL
+}
+
+// checkAccounting asserts the open-loop invariant on a report: every
+// scheduled arrival ends in exactly one of the three fates.
+func checkAccounting(t *testing.T, r *Report) {
+	t.Helper()
+	tot := &r.Total
+	if tot.Issued != tot.Completed+tot.Shed+tot.Failed {
+		t.Fatalf("accounting broken: issued %d != completed %d + shed %d + failed %d",
+			tot.Issued, tot.Completed, tot.Shed, tot.Failed)
+	}
+	var sum ClassSummary
+	for _, c := range r.Classes {
+		sum.Issued += c.Issued
+		sum.Completed += c.Completed
+		sum.Shed += c.Shed
+		sum.Failed += c.Failed
+	}
+	if sum != (ClassSummary{Issued: tot.Issued, Completed: tot.Completed, Shed: tot.Shed, Failed: tot.Failed}) {
+		t.Fatalf("per-class totals %+v disagree with aggregate %+v", sum, tot)
+	}
+}
+
+func TestOpenLoopAchievedRateMatchesConfigured(t *testing.T) {
+	// An unloaded proxy at low offered rate must deliver the configured
+	// rate: nothing shed, nothing failed, achieved within tolerance.
+	// Time scale 10 compresses the 20-workload-second horizon to ~2s of
+	// wall clock, which also exercises the compression path.
+	catalog, proxyURL := startStack(t, 10, 64, 0, 64*units.MB)
+	const configured = 10.0
+	outcomes, report, err := Run(Options{
+		ProxyURL:  proxyURL,
+		Catalog:   catalog,
+		Spec:      SingleClass(configured, 60_000),
+		TimeScale: 10,
+		Seed:      11,
+		Horizon:   20,
+		Verify:    true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkAccounting(t, report)
+	if report.Total.Shed != 0 {
+		t.Errorf("unloaded run shed %d arrivals", report.Total.Shed)
+	}
+	if report.Total.Failed != 0 {
+		for _, o := range outcomes {
+			if o.State == Failed {
+				t.Errorf("failure: %s", o.Err)
+				break
+			}
+		}
+		t.Fatalf("unloaded run failed %d arrivals", report.Total.Failed)
+	}
+	if report.Total.Issued < 100 {
+		t.Fatalf("only %d arrivals issued, want ~200", report.Total.Issued)
+	}
+	// Achieved rate is reported in workload req/s, directly comparable
+	// to the configured Poisson rate. The wall clock includes the drain
+	// tail after the last arrival, so allow a generous band — and a
+	// wider one under the race detector, whose instrumentation slows
+	// the dispatch loop and stretches wall time on 1-core machines.
+	tol := 0.35
+	if raceEnabled {
+		tol = 0.7
+	}
+	if a := report.Total.AchievedRPS; math.Abs(a-configured) > tol*configured {
+		t.Errorf("achieved %.2f workload-rps, configured %.2f, want within %d%%", a, configured, int(tol*100))
+	}
+}
+
+func TestOpenLoopOverdriveShedsAndAccounts(t *testing.T) {
+	// Overdrive a tiny proxy: a slow origin path plus a tiny in-flight
+	// cap means most arrivals find the engine saturated. They must be
+	// shed — not queued — and the books must still balance.
+	catalog, proxyURL := startStack(t, 5, 256, 128, units.MB)
+	_, report, err := Run(Options{
+		ProxyURL:    proxyURL,
+		Catalog:     catalog,
+		Spec:        SingleClass(100, 250),
+		TimeScale:   1,
+		Seed:        12,
+		Horizon:     1.5,
+		MaxInflight: 2,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	checkAccounting(t, report)
+	if report.Total.Shed == 0 {
+		t.Fatal("overdriven run shed nothing; the engine is queueing (closed-loop relapse)")
+	}
+	if frac := report.Total.SLOViolationFrac; frac < 0.5 {
+		t.Errorf("overdriven SLO violation fraction %.3f, want >= 0.5", frac)
+	}
+
+	// Same stack, gentle load: the violation fraction must sit clearly
+	// below the overdriven one — this is the signal the ramp sweep knees on.
+	_, calm, err := Run(Options{
+		ProxyURL:    proxyURL,
+		Catalog:     catalog,
+		Spec:        SingleClass(2, 60_000),
+		TimeScale:   1,
+		Seed:        13,
+		Horizon:     1.5,
+		MaxInflight: 64,
+	})
+	if err != nil {
+		t.Fatalf("Run (calm): %v", err)
+	}
+	checkAccounting(t, calm)
+	if calm.Total.SLOViolationFrac >= report.Total.SLOViolationFrac {
+		t.Errorf("calm violation frac %.3f not below overdriven %.3f",
+			calm.Total.SLOViolationFrac, report.Total.SLOViolationFrac)
+	}
+}
+
+func TestRampSweepFindsKnee(t *testing.T) {
+	// Sweep offered load across ramp levels against one warm proxy and
+	// check the emitted live-capacity table: the offered-load column is
+	// monotone and the SLO-violation fraction crosses the knee threshold
+	// at some level.
+	catalog, proxyURL := startStack(t, 5, 256, 256, units.MB)
+	levels := []float64{1, 20, 200}
+	sink := &experiments.TableSink{}
+	if err := sink.Begin(experiments.LiveCapacityMeta("test ramp")); err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	for li, scale := range levels {
+		_, report, err := Run(Options{
+			ProxyURL:    proxyURL,
+			Catalog:     catalog,
+			Spec:        SingleClass(1.5, 500),
+			Seed:        21,
+			Horizon:     1.5,
+			MaxInflight: 4,
+			RateScale:   scale,
+		})
+		if err != nil {
+			t.Fatalf("Run level %d: %v", li, err)
+		}
+		checkAccounting(t, report)
+		if err := sink.Row(report.SummaryRow(li)); err != nil {
+			t.Fatalf("Row: %v", err)
+		}
+	}
+	if err := sink.End(); err != nil {
+		t.Fatalf("End: %v", err)
+	}
+	table := sink.Table()
+	if got, want := len(table.Header), len(experiments.LiveCapacityHeader); got != want {
+		t.Fatalf("summary row width %d, want %d", got, want)
+	}
+
+	offeredCol := -1
+	for i, h := range table.Header {
+		if h == "offered_rps" {
+			offeredCol = i
+		}
+	}
+	prev := -1.0
+	for li, row := range table.Rows {
+		offered, err := strconv.ParseFloat(row[offeredCol], 64)
+		if err != nil {
+			t.Fatalf("level %d: bad offered_rps %q", li, row[offeredCol])
+		}
+		if offered < prev {
+			t.Fatalf("offered_rps not monotone at level %d: %v after %v", li, offered, prev)
+		}
+		prev = offered
+	}
+
+	knee := experiments.FindKnee(table, 0.3)
+	if knee <= 0 {
+		t.Fatalf("FindKnee = %d, want a crossing after the first (unloaded) level", knee)
+	}
+	if experiments.FindKnee(table, 1.1) != -1 {
+		t.Error("FindKnee crossed an impossible threshold > 1")
+	}
+}

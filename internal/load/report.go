@@ -1,0 +1,260 @@
+package load
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"time"
+
+	"streamcache/internal/experiments"
+)
+
+// ClassSummary aggregates one class's outcomes (or, for Report.Total,
+// all of them). Rates are in requests per *workload* second — the same
+// unit the spec's arrival rates use — so achieved vs configured rates
+// compare directly at any time scale.
+type ClassSummary struct {
+	Name  string
+	SLOms float64 // startup-delay budget, ms (0 for the aggregate row)
+
+	Issued    int // scheduled arrivals that reached the dispatcher
+	Completed int
+	Shed      int
+	Failed    int
+
+	// Violations counts arrivals that missed their SLO: every shed or
+	// failed arrival (the user got nothing) plus completions whose
+	// startup delay exceeded the class budget.
+	Violations int
+	// GoodCompleted and GoodBytes cover SLO-compliant completions only.
+	GoodCompleted int
+	GoodBytes     int64
+
+	OfferedRPS  float64 // Issued per workload second
+	AchievedRPS float64 // Completed per workload second
+	GoodputRPS  float64 // GoodCompleted per workload second
+
+	SLOViolationFrac float64 // Violations / Issued
+
+	DelayP50 time.Duration // startup-delay percentiles over completions
+	DelayP90 time.Duration
+	DelayP99 time.Duration
+
+	Bytes      int64 // bytes downloaded by completions
+	HitBytes   int64 // of those, bytes served from the cached prefix
+	PrefixHits int   // completions with any prefix hit
+}
+
+// Report is the result of one open-loop run (one ramp level).
+type Report struct {
+	Wall      time.Duration
+	TimeScale float64
+	RateScale float64
+	Classes   []ClassSummary // in spec order
+	Total     ClassSummary   // aggregate over all classes
+}
+
+// Summarize aggregates per-arrival outcomes into a Report. The SLO
+// budget is judged against measured wall-clock startup delay; at high
+// time scales operators should scale budgets to match (see
+// OPERATIONS.md).
+func Summarize(spec *Spec, outcomes []Outcome, wall time.Duration, timeScale, rateScale float64) *Report {
+	r := &Report{Wall: wall, TimeScale: timeScale, RateScale: rateScale}
+	r.Classes = make([]ClassSummary, len(spec.Classes))
+	perClass := make([][]time.Duration, len(spec.Classes))
+	for ci := range spec.Classes {
+		r.Classes[ci].Name = spec.Classes[ci].Name
+		r.Classes[ci].SLOms = float64(spec.Classes[ci].SLO.Threshold()) / float64(time.Millisecond)
+	}
+	var allDelays []time.Duration
+	for _, o := range outcomes {
+		ci := o.Item.ClassIdx
+		if ci < 0 || ci >= len(r.Classes) {
+			continue
+		}
+		c := &r.Classes[ci]
+		budget := spec.Classes[ci].SLO.Threshold()
+		c.Issued++
+		switch o.State {
+		case Shed:
+			c.Shed++
+			c.Violations++
+		case Failed:
+			c.Failed++
+			c.Violations++
+		case Completed:
+			c.Completed++
+			c.Bytes += o.Bytes
+			c.HitBytes += o.HitBytes
+			if o.HitBytes > 0 {
+				c.PrefixHits++
+			}
+			perClass[ci] = append(perClass[ci], o.Startup)
+			allDelays = append(allDelays, o.Startup)
+			if o.Startup > budget {
+				c.Violations++
+			} else {
+				c.GoodCompleted++
+				c.GoodBytes += o.Bytes
+			}
+		}
+	}
+
+	// Workload seconds elapsed: the denominator that makes achieved rates
+	// comparable to the spec's configured (workload-time) rates.
+	wsec := wall.Seconds() * timeScale
+	for ci := range r.Classes {
+		finishClass(&r.Classes[ci], perClass[ci], wsec)
+		accumulate(&r.Total, &r.Classes[ci])
+	}
+	r.Total.Name = "all"
+	finishClass(&r.Total, allDelays, wsec)
+	return r
+}
+
+func finishClass(c *ClassSummary, delays []time.Duration, workloadSeconds float64) {
+	if workloadSeconds > 0 {
+		c.OfferedRPS = float64(c.Issued) / workloadSeconds
+		c.AchievedRPS = float64(c.Completed) / workloadSeconds
+		c.GoodputRPS = float64(c.GoodCompleted) / workloadSeconds
+	}
+	if c.Issued > 0 {
+		c.SLOViolationFrac = float64(c.Violations) / float64(c.Issued)
+	}
+	sort.Slice(delays, func(i, j int) bool { return delays[i] < delays[j] })
+	c.DelayP50 = percentileDur(delays, 0.50)
+	c.DelayP90 = percentileDur(delays, 0.90)
+	c.DelayP99 = percentileDur(delays, 0.99)
+}
+
+func accumulate(total, c *ClassSummary) {
+	total.Issued += c.Issued
+	total.Completed += c.Completed
+	total.Shed += c.Shed
+	total.Failed += c.Failed
+	total.Violations += c.Violations
+	total.GoodCompleted += c.GoodCompleted
+	total.GoodBytes += c.GoodBytes
+	total.Bytes += c.Bytes
+	total.HitBytes += c.HitBytes
+	total.PrefixHits += c.PrefixHits
+}
+
+// percentileDur returns the nearest-rank p-th percentile of sorted.
+func percentileDur(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func msCell(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 2, 64)
+}
+
+func f4(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// SummaryRow renders the report as one experiments.LiveCapacityHeader
+// row for ramp level `level`.
+func (r *Report) SummaryRow(level int) []string {
+	t := &r.Total
+	prefixRatio, bwRatio, goodKBps := 0.0, 0.0, 0.0
+	if t.Completed > 0 {
+		prefixRatio = float64(t.PrefixHits) / float64(t.Completed)
+	}
+	if t.Bytes > 0 {
+		bwRatio = float64(t.HitBytes) / float64(t.Bytes)
+	}
+	if wsec := r.Wall.Seconds() * r.TimeScale; wsec > 0 {
+		goodKBps = float64(t.GoodBytes) / wsec / 1024
+	}
+	return []string{
+		strconv.Itoa(level),
+		f4(r.RateScale),
+		f4(r.TimeScale),
+		f4(t.OfferedRPS),
+		f4(t.AchievedRPS),
+		f4(t.GoodputRPS),
+		strconv.FormatFloat(goodKBps, 'f', 1, 64),
+		strconv.Itoa(t.Issued),
+		strconv.Itoa(t.Completed),
+		strconv.Itoa(t.Shed),
+		strconv.Itoa(t.Failed),
+		f4(t.SLOViolationFrac),
+		msCell(t.DelayP50),
+		msCell(t.DelayP90),
+		msCell(t.DelayP99),
+		f4(prefixRatio),
+		f4(bwRatio),
+		strconv.FormatFloat(r.Wall.Seconds(), 'f', 3, 64),
+	}
+}
+
+// ClassRows renders one experiments.LiveClassHeader row per class.
+func (r *Report) ClassRows(level int) [][]string {
+	rows := make([][]string, 0, len(r.Classes))
+	for i := range r.Classes {
+		c := &r.Classes[i]
+		rows = append(rows, []string{
+			strconv.Itoa(level),
+			c.Name,
+			strconv.FormatFloat(c.SLOms, 'f', 0, 64),
+			f4(c.OfferedRPS),
+			f4(c.AchievedRPS),
+			strconv.Itoa(c.Issued),
+			strconv.Itoa(c.Completed),
+			strconv.Itoa(c.Shed),
+			strconv.Itoa(c.Failed),
+			f4(c.SLOViolationFrac),
+			msCell(c.DelayP50),
+			msCell(c.DelayP90),
+			msCell(c.DelayP99),
+		})
+	}
+	return rows
+}
+
+// OutcomeHeader is the row schema of a per-arrival outcome table.
+var OutcomeHeader = []string{
+	"index", "time_s", "class", "object", "state",
+	"bytes", "hit_bytes", "startup_ms", "ttfb_ms", "elapsed_ms", "error",
+}
+
+// WriteOutcomes streams one row per scheduled arrival, in schedule
+// order, through a RowSink.
+func WriteOutcomes(sink experiments.RowSink, name string, outcomes []Outcome) error {
+	meta := experiments.TableMeta{
+		Name:   name,
+		Note:   "one row per scheduled arrival, in schedule order",
+		Header: OutcomeHeader,
+	}
+	if err := sink.Begin(meta); err != nil {
+		return err
+	}
+	for _, o := range outcomes {
+		row := []string{
+			strconv.Itoa(o.Item.Index),
+			strconv.FormatFloat(o.Item.Time, 'g', -1, 64),
+			o.Item.Class,
+			strconv.Itoa(o.Item.ObjectID),
+			o.State.String(),
+			strconv.FormatInt(o.Bytes, 10),
+			strconv.FormatInt(o.HitBytes, 10),
+			msCell(o.Startup),
+			msCell(o.TTFB),
+			msCell(o.Elapsed),
+			o.Err,
+		}
+		if err := sink.Row(row); err != nil {
+			return err
+		}
+	}
+	return sink.End()
+}

@@ -30,7 +30,14 @@ type arrivalSample struct {
 }
 
 // Fetch downloads url, recording the arrival curve as chunks land.
-func Fetch(url string) (*FetchResult, error) {
+func Fetch(url string) (*FetchResult, error) { return FetchN(url, 0) }
+
+// FetchN downloads url like Fetch but stops reading after limit bytes
+// and closes the connection — a partial-viewing session that abandons
+// the stream early (limit <= 0 downloads everything). The digest covers
+// exactly the bytes read, so callers can only verify it against the
+// full-object digest when the download ran to completion.
+func FetchN(url string, limit int64) (*FetchResult, error) {
 	start := time.Now()
 	resp, err := http.Get(url)
 	if err != nil {
@@ -44,7 +51,16 @@ func Fetch(url string) (*FetchResult, error) {
 	hash := sha256.New()
 	buf := make([]byte, 16*1024)
 	for {
-		n, readErr := resp.Body.Read(buf)
+		want := int64(len(buf))
+		if limit > 0 {
+			if remaining := limit - res.Bytes; remaining < want {
+				want = remaining
+			}
+		}
+		if want <= 0 {
+			break // watched enough; hang up on the rest of the stream
+		}
+		n, readErr := resp.Body.Read(buf[:want])
 		if n > 0 {
 			if res.Bytes == 0 {
 				res.TTFB = time.Since(start)

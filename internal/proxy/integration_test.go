@@ -314,3 +314,35 @@ func TestProxyMultiOriginPerPathEstimates(t *testing.T) {
 		t.Error("slow-path object not cached; PB should hold its deficit")
 	}
 }
+
+func TestFetchNStopsEarly(t *testing.T) {
+	// A partial-viewing session reads only its watched prefix: FetchN
+	// must stop at the limit and leave the connection behind, while a
+	// non-positive limit downloads everything.
+	_, proxyURL, _ := startStack(t, core.NewIB(), units.GBytes(1), 0)
+	partial, err := FetchN(proxyURL+"/objects/1", 64*units.KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Bytes != 64*units.KB {
+		t.Errorf("limited fetch read %d bytes, want %d", partial.Bytes, 64*units.KB)
+	}
+	full, err := FetchN(proxyURL+"/objects/1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Bytes != 256*units.KB {
+		t.Errorf("unlimited fetch read %d bytes, want %d", full.Bytes, 256*units.KB)
+	}
+	if want := ContentSHA256(1, 256*units.KB); full.SHA256 != want {
+		t.Error("unlimited FetchN digest mismatch")
+	}
+	// A limit beyond the object size behaves like a full download.
+	over, err := FetchN(proxyURL+"/objects/1", units.GBytes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Bytes != 256*units.KB {
+		t.Errorf("overlimit fetch read %d bytes, want %d", over.Bytes, 256*units.KB)
+	}
+}

@@ -241,12 +241,15 @@ func Run(cfg Config) (Metrics, error) {
 // run seed directly).
 const netSeedSalt = 0x5DEECE66D
 
-// runScratch holds per-run slices reused across runs via scratchPool.
-// Only the slice headers survive a run: every element is rewritten
-// before use, so pooled state can never leak between runs (and results
-// stay bit-identical whether or not a pooled buffer was reused).
+// runScratch holds per-run state reused across runs via scratchPool.
+// Only backing storage survives a run: estimator slice elements are
+// rewritten before use and the pooled cache is Reset to its
+// freshly-constructed state, so pooled state can never leak between
+// runs (and results stay bit-identical whether or not a pooled buffer
+// was reused — the Parallelism 1/2/8 determinism suite exercises both).
 type runScratch struct {
 	estimators []bandwidth.Estimator
+	cache      *core.Cache
 }
 
 func (s *runScratch) estSlice(n int) []bandwidth.Estimator {
@@ -254,6 +257,24 @@ func (s *runScratch) estSlice(n int) []bandwidth.Estimator {
 		s.estimators = make([]bandwidth.Estimator, n)
 	}
 	return s.estimators[:n]
+}
+
+// cacheFor returns a cache configured exactly as core.New(capacity,
+// policy, opts...) would build it, reusing the pooled cache's table
+// storage when one is available.
+func (s *runScratch) cacheFor(capacity int64, policy core.Policy, opts ...core.Option) (*core.Cache, error) {
+	if s.cache == nil {
+		c, err := core.New(capacity, policy, opts...)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = c
+		return c, nil
+	}
+	if err := s.cache.Reset(capacity, policy, opts...); err != nil {
+		return nil, err
+	}
+	return s.cache, nil
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}
@@ -269,10 +290,12 @@ func runOnce(cfg Config, seed int64) (Metrics, error) {
 	if cfg.PolicyFactory != nil {
 		policy = cfg.PolicyFactory()
 	}
+	scratch := scratchPool.Get().(*runScratch)
+	defer scratchPool.Put(scratch)
 	opts := make([]core.Option, 0, len(cfg.CacheOptions)+1)
 	opts = append(opts, core.WithExpectedObjects(len(objs)))
 	opts = append(opts, cfg.CacheOptions...)
-	cache, err := core.New(cfg.CacheBytes, policy, opts...)
+	cache, err := scratch.cacheFor(cfg.CacheBytes, policy, opts...)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -290,10 +313,7 @@ func runOnce(cfg Config, seed int64) (Metrics, error) {
 	// read straight from the memoized assignment.
 	oracle := cfg.Estimators == nil
 	var estimators []bandwidth.Estimator
-	var scratch *runScratch
 	if !oracle {
-		scratch = scratchPool.Get().(*runScratch)
-		defer scratchPool.Put(scratch)
 		estimators = scratch.estSlice(len(objs))
 		for i := range estimators {
 			estimators[i] = cfg.Estimators(i, means[i])

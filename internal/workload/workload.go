@@ -211,6 +211,88 @@ func Generate(cfg Config) (*Workload, error) {
 	return &Workload{Config: cfg, Objects: objects, Requests: requests}, nil
 }
 
+// ViewingKind names a viewing-duration distribution for one workload
+// class (the open-loop load generator's per-class "how long does a
+// session watch" model; the GISMO user-interactivity knob generalized
+// from a probability to a distribution).
+type ViewingKind string
+
+// The supported viewing-duration distributions.
+const (
+	// ViewFull watches every stream to the end (fraction 1).
+	ViewFull ViewingKind = "full"
+	// ViewUniform watches a uniform fraction on [MinFraction, 1).
+	ViewUniform ViewingKind = "uniform"
+	// ViewLognormal watches Lognormal(Mu, Sigma) seconds of the stream,
+	// truncated to the object's duration.
+	ViewLognormal ViewingKind = "lognormal"
+)
+
+// Viewing is a viewing-duration distribution: it samples the fraction
+// of a stream one session watches. The zero value is ViewFull.
+type Viewing struct {
+	Kind ViewingKind
+	// MinFraction bounds how early a ViewUniform session may stop
+	// (default 0.05, matching Config.MinViewFraction).
+	MinFraction float64
+	// Mu, Sigma parameterize the ViewLognormal watched duration in
+	// seconds: exp(N(Mu, Sigma^2)).
+	Mu, Sigma float64
+}
+
+// Validate normalizes and checks the distribution parameters.
+func (v Viewing) Validate() (Viewing, error) {
+	if v.Kind == "" {
+		v.Kind = ViewFull
+	}
+	switch v.Kind {
+	case ViewFull:
+	case ViewUniform:
+		if v.MinFraction == 0 {
+			v.MinFraction = 0.05
+		}
+		if v.MinFraction < 0 || v.MinFraction > 1 || math.IsNaN(v.MinFraction) {
+			return v, fmt.Errorf("%w: viewing MinFraction=%v, want in [0, 1]", ErrBadConfig, v.MinFraction)
+		}
+	case ViewLognormal:
+		if math.IsNaN(v.Mu) || math.IsInf(v.Mu, 0) {
+			return v, fmt.Errorf("%w: viewing Mu=%v, want finite", ErrBadConfig, v.Mu)
+		}
+		if v.Sigma < 0 || math.IsNaN(v.Sigma) || math.IsInf(v.Sigma, 0) {
+			return v, fmt.Errorf("%w: viewing Sigma=%v, want finite >= 0", ErrBadConfig, v.Sigma)
+		}
+	default:
+		return v, fmt.Errorf("%w: viewing Kind=%q, want full, uniform or lognormal", ErrBadConfig, v.Kind)
+	}
+	return v, nil
+}
+
+// Fraction samples the watched fraction of a stream with the given
+// playback duration in seconds. The result is always in (0, 1].
+func (v Viewing) Fraction(rng *rand.Rand, objDuration float64) float64 {
+	switch v.Kind {
+	case ViewUniform:
+		return v.MinFraction + rng.Float64()*(1-v.MinFraction)
+	case ViewLognormal:
+		if objDuration <= 0 {
+			return 1
+		}
+		watched := dist.Lognormal{Mu: v.Mu, Sigma: v.Sigma}.Sample(rng)
+		frac := watched / objDuration
+		if frac >= 1 {
+			return 1
+		}
+		// Never hand back a zero-byte session: the open-loop client
+		// still fetches at least the leading sliver of the stream.
+		if frac < 1e-3 {
+			return 1e-3
+		}
+		return frac
+	default:
+		return 1
+	}
+}
+
 // TotalUniqueBytes returns the summed size of all unique objects (the
 // paper's "Total Storage", ~790 GB with defaults).
 func (w *Workload) TotalUniqueBytes() int64 {

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -307,5 +308,76 @@ func TestPartialViewingFractions(t *testing.T) {
 	got := float64(partial) / float64(len(w.Requests))
 	if math.Abs(got-0.4) > 0.02 {
 		t.Errorf("partial-session fraction %v, want ~0.4", got)
+	}
+}
+
+func TestViewingValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		v    Viewing
+		ok   bool
+	}{
+		{"zero value is full", Viewing{}, true},
+		{"full", Viewing{Kind: ViewFull}, true},
+		{"uniform defaults", Viewing{Kind: ViewUniform}, true},
+		{"uniform explicit", Viewing{Kind: ViewUniform, MinFraction: 0.3}, true},
+		{"uniform negative min", Viewing{Kind: ViewUniform, MinFraction: -0.1}, false},
+		{"uniform min above 1", Viewing{Kind: ViewUniform, MinFraction: 1.5}, false},
+		{"lognormal", Viewing{Kind: ViewLognormal, Mu: 4, Sigma: 0.5}, true},
+		{"lognormal NaN mu", Viewing{Kind: ViewLognormal, Mu: math.NaN()}, false},
+		{"lognormal negative sigma", Viewing{Kind: ViewLognormal, Sigma: -1}, false},
+		{"unknown kind", Viewing{Kind: "zipf"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.v.Validate()
+			if tc.ok && err != nil {
+				t.Errorf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Error("Validate() accepted invalid distribution")
+			}
+		})
+	}
+	// Uniform default fills in MinFraction.
+	v, err := Viewing{Kind: ViewUniform}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.MinFraction != 0.05 {
+		t.Errorf("uniform default MinFraction = %v, want 0.05", v.MinFraction)
+	}
+}
+
+func TestViewingFractionBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dists := []Viewing{
+		{},
+		{Kind: ViewUniform, MinFraction: 0.2},
+		{Kind: ViewLognormal, Mu: 3.0, Sigma: 1.0},
+	}
+	for _, v := range dists {
+		v, err := v.Validate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2000; i++ {
+			f := v.Fraction(rng, 120)
+			if f <= 0 || f > 1 {
+				t.Fatalf("%+v: fraction %v outside (0, 1]", v, f)
+			}
+			if v.Kind == ViewUniform && f < v.MinFraction {
+				t.Fatalf("uniform fraction %v below MinFraction %v", f, v.MinFraction)
+			}
+		}
+	}
+	// Full always watches to the end.
+	if f := (Viewing{}).Fraction(rng, 60); f != 1 {
+		t.Errorf("full viewing fraction = %v, want 1", f)
+	}
+	// A lognormal watching far longer than the object runs to the end.
+	long := Viewing{Kind: ViewLognormal, Mu: 10, Sigma: 0.1}
+	if f := long.Fraction(rng, 1); f != 1 {
+		t.Errorf("oversized lognormal fraction = %v, want 1", f)
 	}
 }

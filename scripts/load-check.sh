@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Open-loop smoke (OPERATIONS.md §9): build proxyd + loadgen, check the
+# generated arrival schedule is byte-identical across two dry runs at
+# the same seed, drive a short open-loop ramp against a live proxyd,
+# assert the live-capacity row schema is stable and goodput is nonzero,
+# then SIGTERM the server and require a clean graceful drain.
+# `make load-check` and the CI load-check job both call this.
+set -euo pipefail
+
+ORIGIN_ADDR=${ORIGIN_ADDR:-127.0.0.1:18090}
+PROXY_ADDR=${PROXY_ADDR:-127.0.0.1:18091}
+tmp=$(mktemp -d)
+pid=
+
+cleanup() {
+    [[ -n "$pid" ]] && kill -KILL "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/proxyd" ./cmd/proxyd
+go build -o "$tmp/loadgen" ./cmd/loadgen
+
+# Determinism: two dry runs at the same seed must emit byte-identical
+# arrival schedules (no server involved).
+common=(-mode open -objects 24 -mean-kb 64 -catalog-seed 1 -trace-seed 7
+        -rate 40 -duration 5 -slo-ms 1000)
+"$tmp/loadgen" "${common[@]}" -dry-run -schedule-out "$tmp/schedule-a.jsonl" -format jsonl
+"$tmp/loadgen" "${common[@]}" -dry-run -schedule-out "$tmp/schedule-b.jsonl" -format jsonl
+cmp "$tmp/schedule-a.jsonl" "$tmp/schedule-b.jsonl" || {
+    echo "load-check: schedule not byte-identical across identical seeds" >&2
+    exit 1
+}
+[[ -s "$tmp/schedule-a.jsonl" ]] || {
+    echo "load-check: dry run emitted an empty schedule" >&2
+    exit 1
+}
+
+"$tmp/proxyd" -origin-addr "$ORIGIN_ADDR" -proxy-addr "$PROXY_ADDR" \
+    -shards 4 -objects 24 -mean-kb 64 -origin-kbps 0 -cache-mb 8 -policy LRU \
+    >"$tmp/proxyd.log" 2>&1 &
+pid=$!
+
+# A short two-level ramp at time-scale 2 (10 workload seconds in ~5s of
+# wall clock per level), verified content, summary to CSV.
+"$tmp/loadgen" "${common[@]}" -proxy "http://$PROXY_ADDR" -wait 15s \
+    -time-scale 2 -ramp 1,2 -verify \
+    -out "$tmp/capacity.csv" -per-class "$tmp/classes.csv"
+cat "$tmp/capacity.csv"
+
+# Row-schema stability: consumers (cmd/figures -knee, dashboards) key on
+# these exact columns. A schema change must be deliberate — update the
+# canonical header here and in experiments.LiveCapacityHeader together.
+want_header='level,rate_scale,time_scale,offered_rps,achieved_rps,goodput_rps,goodput_kbps,issued,completed,shed,failed,slo_violation_frac,delay_p50_ms,delay_p90_ms,delay_p99_ms,prefix_hit_ratio,bw_hit_ratio,wall_seconds'
+got_header=$(grep -v '^#' "$tmp/capacity.csv" | head -n 1)
+[[ "$got_header" == "$want_header" ]] || {
+    echo "load-check: live-capacity header drifted" >&2
+    echo "  want: $want_header" >&2
+    echo "  got:  $got_header" >&2
+    exit 1
+}
+
+# Nonzero goodput: at least one ramp level completed SLO-compliant work.
+goodput=$(grep -v '^#' "$tmp/capacity.csv" | tail -n +2 | cut -d, -f6 | sort -g | tail -n 1)
+awk -v g="$goodput" 'BEGIN { exit (g > 0) ? 0 : 1 }' || {
+    echo "load-check: goodput_rps is zero at every ramp level" >&2
+    cat "$tmp/classes.csv" >&2 || true
+    exit 1
+}
+
+kill -TERM "$pid"
+drain_ok=0
+if wait "$pid"; then
+    drain_ok=1
+fi
+pid=
+if [[ "$drain_ok" != 1 ]]; then
+    echo "load-check: proxyd did not exit cleanly on SIGTERM" >&2
+    cat "$tmp/proxyd.log" >&2
+    exit 1
+fi
+grep -q 'drained; final stats' "$tmp/proxyd.log" || {
+    echo "load-check: no drain confirmation in proxyd log" >&2
+    cat "$tmp/proxyd.log" >&2
+    exit 1
+}
+echo "load-check: open-loop ramp produced goodput with a stable schema and proxyd drained cleanly"
