@@ -14,15 +14,31 @@ BENCHTIME ?= 2s
 BENCH_JSON ?= BENCH.json
 BENCH_BASELINE ?=
 
-.PHONY: all ci vet build test race bench bench-smoke bench-json fuzz-smoke figures docs-check shard-check proxy-check load-check clean
+.PHONY: all ci vet lint lint-check build test race bench bench-smoke bench-json fuzz-smoke figures docs-check shard-check proxy-check load-check clean
 
 all: ci
 
 ## ci: everything the driver/CI gate runs, in order.
-ci: vet build race bench-smoke
+ci: vet lint build race bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+## lint: the mediavet multichecker (determinism, hotpath, shardlock,
+## rowsink — see DESIGN.md "Machine-enforced invariants") over the
+## whole module, then the pinned third-party pass (staticcheck,
+## govulncheck; skipped with a warning offline unless LINT_STRICT=1).
+## Facts are cached under .cache/mediavet keyed by export data, so
+## unchanged packages are free on re-runs.
+lint:
+	$(GO) run ./cmd/mediavet -summary ./...
+	bash scripts/lint-extra.sh
+
+## lint-check: end-to-end proof that `go vet -vettool=mediavet` works —
+## clean on the shipped tree, and injected violations in internal/sim
+## and internal/proxy fail it naming the right analyzer.
+lint-check:
+	bash scripts/lint-check.sh
 
 build:
 	$(GO) build ./...

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"streamcache/internal/experiments"
+	"streamcache/internal/sim"
 )
 
 // files maps experiment keys to their CSV file names; keys missing here
@@ -144,6 +145,13 @@ func run() error {
 		return err
 	}
 	s.Shard = sh
+	// One arena for the whole figure set: the sizing workload, Table 1
+	// trace, and Figures 2-3 synthetic logs are shared across
+	// experiments, so they are generated once per distinct config
+	// instead of once per experiment. Rows are bit-identical either way.
+	if !s.NoWorkloadReuse {
+		s.Arena = sim.NewArena()
+	}
 
 	exps := experiments.Experiments()
 	known := map[string]bool{}

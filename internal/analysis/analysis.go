@@ -1,0 +1,225 @@
+// Package analysis implements mediavet, the repo's in-house static
+// analyzer suite. It machine-enforces the three load-bearing contracts
+// that regression tests only catch after the fact:
+//
+//   - determinism: sweep output must be byte-identical for a given seed
+//     (no wall clock, no global rand, no map-order-dependent output,
+//     no ad-hoc goroutines outside internal/par),
+//   - hotpath: functions annotated //mediavet:hotpath must stay
+//     allocation-free (the AllocsPerRun budget from the perf work),
+//   - shardlock: internal/proxy keeps shard locks short and never
+//     blocks while holding one; cross-shard state goes through atomics,
+//   - rowsink: header/row emitters agree on column count and schema
+//     strings stay constant so sweep fingerprints are stable.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// API shape (Analyzer, Pass, Diagnostic) but is self-contained on the
+// standard library: packages are loaded via `go list -export` and type
+// checked with the gc export-data importer, so the module keeps its
+// zero-dependency property. cmd/mediavet drives the analyzers both
+// standalone and through the `go vet -vettool` protocol.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ModulePath is the import-path prefix of this repository. Analyzers
+// use it to scope package checks and to distinguish module-internal
+// calls from standard-library ones.
+const ModulePath = "streamcache"
+
+// Version participates in the facts-dir cache key: bumping it (or
+// changing any analyzer, which changes the binary) invalidates cached
+// results.
+const Version = "mediavet-1"
+
+// An Analyzer is one named check. Run inspects a fully type-checked
+// package via the Pass and reports findings with Pass.Reportf.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is a single finding at a position, before suppression
+// (//mediavet:ignore) has been applied.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	PkgPath  string
+	Info     *types.Info
+
+	// Facts holds hotpath annotations accumulated from this package
+	// and everything it (transitively) imports.
+	Facts *Facts
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding. The driver applies //mediavet:ignore
+// suppression afterwards, so analyzers report unconditionally.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos falls in a _test.go file. The
+// invariants govern production code; tests may use wall clocks,
+// fmt, and ad-hoc goroutines freely.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// Facts is the cross-package information analyzers exchange: the set
+// of //mediavet:hotpath-annotated functions, keyed by FuncKey. In
+// standalone mode the driver accumulates facts in dependency order;
+// in vettool mode they travel through go vet's .vetx fact files.
+type Facts struct {
+	Hotpath map[string]bool `json:"hotpath,omitempty"`
+}
+
+// NewFacts returns an empty fact set.
+func NewFacts() *Facts {
+	return &Facts{Hotpath: map[string]bool{}}
+}
+
+// Merge folds other into f.
+func (f *Facts) Merge(other *Facts) {
+	if other == nil {
+		return
+	}
+	for k := range other.Hotpath {
+		f.Hotpath[k] = true
+	}
+}
+
+// FuncKey renders a stable identity for a function or method:
+// "pkgpath.Func" or "pkgpath.Recv.Method" with pointer receivers
+// stripped, matching the keys produced by declKey for annotations.
+func FuncKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			return fn.Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+		return fn.Pkg().Path() + ".?." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// declKey is FuncKey computed syntactically from a declaration, used
+// when registering //mediavet:hotpath annotations (which may happen in
+// parse-only mode, before type information exists).
+func declKey(pkgPath string, d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return pkgPath + "." + d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.ParenExpr:
+			t = tt.X
+		case *ast.Ident:
+			return pkgPath + "." + tt.Name + "." + d.Name.Name
+		default:
+			return pkgPath + ".?." + d.Name.Name
+		}
+	}
+}
+
+// staticCallee resolves a call expression to the *types.Func it
+// statically invokes: a package-level function, a method called on a
+// concrete receiver, or nil for func values, interface dispatch, type
+// conversions, and builtins.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			if types.IsInterface(sel.Recv()) {
+				return nil // dynamic dispatch
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Qualified identifier pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// calleePkgPath returns the defining package path of fn, or "" for
+// builtins and universe-scope functions.
+func calleePkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isModulePath reports whether path belongs to this module.
+func isModulePath(path string) bool {
+	return path == ModulePath || strings.HasPrefix(path, ModulePath+"/")
+}
+
+// pkgPathSuffix reports whether pkgPath is exactly ModulePath+"/"+suffix.
+// Testdata suites type-check synthetic packages under the real module
+// paths so the scoping rules apply unchanged.
+func pkgPathSuffix(pkgPath, suffix string) bool {
+	return pkgPath == ModulePath+"/"+suffix
+}
+
+// rootIdent walks a selector/index/star chain (a.b[c].d, *p.q) down to
+// its base identifier, or nil if the base is not an identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,6 @@
+package analysis
+
+// All returns the full mediavet analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, Hotpath, Shardlock, Rowsink}
+}

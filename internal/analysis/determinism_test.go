@@ -1,0 +1,30 @@
+package analysis
+
+import "testing"
+
+func TestDeterminismAnalyzer(t *testing.T) {
+	runTestdata(t, Determinism, "determinism", ModulePath+"/internal/sim")
+}
+
+func TestDeterminismLoadCallGraph(t *testing.T) {
+	runTestdata(t, Determinism, "determinism_load", ModulePath+"/internal/load")
+}
+
+func TestDeterminismSkipsUnscopedPackages(t *testing.T) {
+	// The same fixture type-checked under a non-deterministic package
+	// path must produce zero findings: scoping is the contract.
+	loader := NewLoader(stdlibExports(t, []string{"math/rand", "sort", "time"}), nil)
+	pkg, err := loader.Check(ModulePath+"/internal/par", "testdata/determinism", []string{"determinism.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent, err := analyzePackage(pkg, loader.Fset, []*Analyzer{Determinism}, NewFacts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range ent.Findings {
+		if f.Analyzer == Determinism.Name {
+			t.Errorf("unexpected finding outside deterministic scope: %s", f)
+		}
+	}
+}

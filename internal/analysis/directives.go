@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Directive syntax:
+//
+//	//mediavet:hotpath
+//	    on (or in) a function's doc comment: the function is part of a
+//	    zero-allocation hot path and the hotpath analyzer checks its body.
+//
+//	//mediavet:ignore <analyzer> <reason...>
+//	    suppresses <analyzer>'s findings on the directive's own line and
+//	    on the line directly below it (so it works both as a trailing
+//	    comment and as a comment line above the offending statement).
+//	    The reason is mandatory; the meta-test in ignore_test.go and the
+//	    standalone driver both reject ignores with no reason or an
+//	    unknown analyzer name.
+const (
+	hotpathDirective = "//mediavet:hotpath"
+	ignoreDirective  = "//mediavet:ignore"
+)
+
+// An Ignore is one parsed //mediavet:ignore directive.
+type Ignore struct {
+	Analyzer string
+	Reason   string
+	File     string
+	Line     int
+	Pos      token.Pos
+	Malformed string // non-empty if the directive could not be parsed
+}
+
+// parseIgnore parses the text of a single comment. Returns nil if the
+// comment is not an ignore directive at all.
+func parseIgnore(text string) *Ignore {
+	if !strings.HasPrefix(text, ignoreDirective) {
+		return nil
+	}
+	rest := strings.TrimPrefix(text, ignoreDirective)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil // e.g. //mediavet:ignoreX
+	}
+	fields := strings.Fields(rest)
+	ig := &Ignore{}
+	if len(fields) == 0 {
+		ig.Malformed = "missing analyzer name and reason"
+		return ig
+	}
+	ig.Analyzer = fields[0]
+	if len(fields) < 2 {
+		ig.Malformed = "missing reason"
+		return ig
+	}
+	ig.Reason = strings.Join(fields[1:], " ")
+	return ig
+}
+
+// collectIgnores walks every comment in files and returns the parsed
+// ignore directives with their file/line positions resolved.
+func collectIgnores(fset *token.FileSet, files []*ast.File) []*Ignore {
+	var out []*Ignore
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ig := parseIgnore(c.Text)
+				if ig == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ig.File = pos.Filename
+				ig.Line = pos.Line
+				ig.Pos = c.Pos()
+				out = append(out, ig)
+			}
+		}
+	}
+	return out
+}
+
+// isHotpathDecl reports whether a function declaration carries the
+// //mediavet:hotpath directive in its doc comment.
+func isHotpathDecl(d *ast.FuncDecl) bool {
+	if d.Doc == nil {
+		return false
+	}
+	for _, c := range d.Doc.List {
+		if c.Text == hotpathDirective ||
+			strings.HasPrefix(c.Text, hotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// CollectHotpathFacts records every //mediavet:hotpath-annotated
+// function in files under its declKey. It needs only parsed syntax,
+// so it also works in go vet's VetxOnly (facts-only) mode.
+func CollectHotpathFacts(pkgPath string, files []*ast.File) *Facts {
+	facts := NewFacts()
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !isHotpathDecl(fd) {
+				continue
+			}
+			facts.Hotpath[declKey(pkgPath, fd)] = true
+		}
+	}
+	return facts
+}
+
+// suppressor answers "is this diagnostic covered by an ignore?" and
+// tracks which ignores were actually used so the standalone driver can
+// flag stale ones.
+type suppressor struct {
+	fset    *token.FileSet
+	byKey   map[string][]*Ignore // "analyzer\x00file:line" -> directives
+	used    map[*Ignore]bool
+	all     []*Ignore
+}
+
+func newSuppressor(fset *token.FileSet, files []*ast.File) *suppressor {
+	s := &suppressor{
+		fset:  fset,
+		byKey: map[string][]*Ignore{},
+		used:  map[*Ignore]bool{},
+		all:   collectIgnores(fset, files),
+	}
+	for _, ig := range s.all {
+		if ig.Malformed != "" {
+			continue
+		}
+		// A directive covers its own line (trailing comment) and the
+		// line below (standalone comment above the statement).
+		for _, line := range []int{ig.Line, ig.Line + 1} {
+			key := ig.Analyzer + "\x00" + ig.File + ":" + strconv.Itoa(line)
+			s.byKey[key] = append(s.byKey[key], ig)
+		}
+	}
+	return s
+}
+
+// suppressed reports whether a diagnostic from analyzer at pos is
+// covered by an ignore directive, marking the directive used.
+func (s *suppressor) suppressed(analyzer string, pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	key := analyzer + "\x00" + p.Filename + ":" + strconv.Itoa(p.Line)
+	igs := s.byKey[key]
+	if len(igs) == 0 {
+		return false
+	}
+	for _, ig := range igs {
+		s.used[ig] = true
+	}
+	return true
+}
+
+// unused returns well-formed directives that suppressed nothing, plus
+// all malformed ones. The standalone driver reports both so ignores
+// cannot rot.
+func (s *suppressor) unused() (stale, malformed []*Ignore) {
+	for _, ig := range s.all {
+		switch {
+		case ig.Malformed != "":
+			malformed = append(malformed, ig)
+		case !s.used[ig]:
+			stale = append(stale, ig)
+		}
+	}
+	return stale, malformed
+}

@@ -1,0 +1,23 @@
+package analysis
+
+import "testing"
+
+func TestHotpathAnalyzer(t *testing.T) {
+	runTestdata(t, Hotpath, "hotpath", ModulePath+"/internal/core")
+}
+
+func TestHotpathFactsCrossPackage(t *testing.T) {
+	// A dependency's //mediavet:hotpath annotations arrive via Facts;
+	// calling an annotated cross-package function must not be flagged,
+	// while an unannotated one is. Simulated by seeding facts by hand.
+	facts := NewFacts()
+	facts.Hotpath[ModulePath+"/internal/core.hotAnnotatedHelper"] = true
+	if !facts.Hotpath[ModulePath+"/internal/core.hotAnnotatedHelper"] {
+		t.Fatal("fact merge lost the annotation")
+	}
+	other := NewFacts()
+	other.Merge(facts)
+	if !other.Hotpath[ModulePath+"/internal/core.hotAnnotatedHelper"] {
+		t.Fatal("Merge dropped a hotpath fact")
+	}
+}

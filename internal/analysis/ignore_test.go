@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestIgnoreDirectivesWellFormed walks the whole module and checks
+// every //mediavet:ignore in tree: it must name a real analyzer and
+// carry a non-empty justification. This keeps suppressions honest —
+// an ignore with no reason is indistinguishable from a silenced bug.
+func TestIgnoreDirectivesWellFormed(t *testing.T) {
+	valid := map[string]bool{}
+	for _, a := range All() {
+		valid[a.Name] = true
+	}
+
+	root := filepath.Join("..", "..")
+	count := 0
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == ".cache" || name == "testdata" || name == "bin" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				count++
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(c.Text, ignoreDirective))
+				if len(fields) == 0 {
+					t.Errorf("%s:%d: //mediavet:ignore names no analyzer", path, pos.Line)
+					continue
+				}
+				if !valid[fields[0]] {
+					t.Errorf("%s:%d: //mediavet:ignore names unknown analyzer %q", path, pos.Line, fields[0])
+				}
+				if len(fields) < 2 {
+					t.Errorf("%s:%d: //mediavet:ignore %s has no justification", path, pos.Line, fields[0])
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Fatal("walked the module without seeing a single //mediavet:ignore; wrong root?")
+	}
+	t.Logf("checked %d //mediavet:ignore directives", count)
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestRowsinkAnalyzer(t *testing.T) {
+	runTestdata(t, Rowsink, "rowsink", ModulePath+"/internal/experiments")
+}

@@ -1,0 +1,593 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Shardlock enforces the proxy tier's lock discipline from the
+// sharded-concurrency work:
+//
+//  1. no blocking operation (origin/http call, channel op, sleep,
+//     WaitGroup.Wait — transitively through package-local calls) while
+//     a shard mutex is held;
+//  2. every Lock has a matching Unlock or defer Unlock in the same
+//     function;
+//  3. fields of mutex-guarded structs are written only with the lock
+//     held (outside constructors), so cross-shard state is forced
+//     through atomics.
+//
+// sync.Cond.Wait is deliberately NOT in the blocking set: it releases
+// the lock while parked, which is exactly the relay fan-out pattern.
+var Shardlock = &Analyzer{
+	Name: "shardlock",
+	Doc: "in internal/proxy: no blocking calls under a shard mutex, " +
+		"every Lock dominated by an Unlock, guarded fields written " +
+		"only under their lock",
+	Run: runShardlock,
+}
+
+// Packages whose calls block (network, subprocess) — holding a shard
+// lock across any of these serializes the shard behind I/O.
+var blockingPkgs = map[string]bool{
+	"net":          true,
+	"net/http":     true,
+	"net/rpc":      true,
+	"os/exec":      true,
+	"database/sql": true,
+}
+
+func runShardlock(pass *Pass) error {
+	if !pkgPathSuffix(pass.PkgPath, "internal/proxy") {
+		return nil
+	}
+	sl := &shardlockChecker{
+		pass:     pass,
+		blocking: map[*types.Func]string{},
+	}
+	sl.buildBlockingSet()
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			sl.checkFunc(fd)
+		}
+	}
+	return nil
+}
+
+type shardlockChecker struct {
+	pass *Pass
+	// blocking maps package-local functions to the reason they block,
+	// computed as a fixed point over the intra-package call graph.
+	blocking map[*types.Func]string
+}
+
+// directBlockReason classifies a single call expression, ignoring
+// package-local propagation (handled by the fixed point).
+func (sl *shardlockChecker) directBlockReason(call *ast.CallExpr) string {
+	fn := staticCallee(sl.pass.Info, call)
+	if fn == nil {
+		return ""
+	}
+	pkg := calleePkgPath(fn)
+	switch {
+	case blockingPkgs[pkg]:
+		return "calls into " + pkg
+	case pkg == "time" && fn.Name() == "Sleep":
+		return "calls time.Sleep"
+	case pkg == "sync" && FuncKey(fn) == "sync.WaitGroup.Wait":
+		return "waits on a sync.WaitGroup"
+	case pkg == "io" && (fn.Name() == "Copy" || fn.Name() == "CopyN" ||
+		fn.Name() == "CopyBuffer" || fn.Name() == "ReadAll"):
+		return "performs io." + fn.Name() + " (reader may block)"
+	}
+	return ""
+}
+
+// buildBlockingSet marks package-local functions that block, directly
+// or through other package-local calls.
+func (sl *shardlockChecker) buildBlockingSet() {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range sl.pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, isFn := sl.pass.Info.Defs[fd.Name].(*types.Func); isFn {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			if sl.blocking[fn] != "" {
+				continue
+			}
+			reason := sl.funcBlockReason(fd)
+			if reason != "" {
+				sl.blocking[fn] = reason
+				changed = true
+			}
+		}
+	}
+}
+
+// funcBlockReason scans one function body for direct blocking
+// operations or calls to already-known-blocking local functions.
+// Goroutine bodies and func literals are skipped: what a spawned
+// goroutine does is its own timeline.
+func (sl *shardlockChecker) funcBlockReason(fd *ast.FuncDecl) string {
+	reason := ""
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			reason = "sends on a channel"
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				reason = "receives from a channel"
+				return false
+			}
+		case *ast.SelectStmt:
+			reason = "selects on channels"
+			return false
+		case *ast.CallExpr:
+			if r := sl.directBlockReason(x); r != "" {
+				reason = r
+				return false
+			}
+			if fn := staticCallee(sl.pass.Info, x); fn != nil && fn.Pkg() == sl.pass.Pkg {
+				if r := sl.blocking[fn]; r != "" {
+					reason = fn.Name() + " " + r
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// --- per-function lock-state walk ----------------------------------------
+
+// lockState maps a mutex expression (rendered as source text, e.g.
+// "sh.mu") to the position where it was locked.
+type lockState map[string]token.Pos
+
+func (ls lockState) clone() lockState {
+	c := make(lockState, len(ls))
+	for k, v := range ls {
+		c[k] = v
+	}
+	return c
+}
+
+func (sl *shardlockChecker) checkFunc(fd *ast.FuncDecl) {
+	// Pre-pass: which mutexes have any Unlock (plain or deferred)
+	// anywhere in the function? A Lock with none is a guaranteed leak.
+	unlocked := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if m, op := sl.mutexOp(call); m != "" && (op == "Unlock" || op == "RUnlock") {
+				unlocked[m] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if m, op := sl.mutexOp(call); m != "" && (op == "Lock" || op == "RLock") && !unlocked[m] {
+				sl.pass.Reportf(call.Pos(),
+					"%s.%s has no matching Unlock anywhere in this function; add an unlock or defer", m, op)
+			}
+		}
+		return true
+	})
+
+	sl.walkStmts(fd, fd.Body.List, lockState{})
+
+	// Each func literal is its own timeline (goroutine body, callback,
+	// deferred cleanup): walk it with a fresh lock state. The walker
+	// itself never descends into literals, so each is visited once.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			sl.walkStmts(fd, lit.Body.List, lockState{})
+		}
+		return true
+	})
+}
+
+// mutexOp recognizes m.Lock()/Unlock()/RLock()/RUnlock() where m's
+// type is sync.Mutex or sync.RWMutex (possibly behind a pointer), and
+// returns the rendered mutex expression and the operation name.
+func (sl *shardlockChecker) mutexOp(call *ast.CallExpr) (mutex, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	t := sl.pass.Info.TypeOf(sel.X)
+	if !isSyncMutex(t) {
+		return "", ""
+	}
+	return types.ExprString(sel.X), sel.Sel.Name
+}
+
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// walkStmts threads the held-lock set through a statement list.
+// Branches get copies; at joins a lock is considered released if any
+// branch released it (conservative toward fewer false positives).
+// The returned state is the fall-through state.
+func (sl *shardlockChecker) walkStmts(fd *ast.FuncDecl, stmts []ast.Stmt, held lockState) lockState {
+	for _, s := range stmts {
+		held = sl.walkStmt(fd, s, held)
+	}
+	return held
+}
+
+func (sl *shardlockChecker) walkStmt(fd *ast.FuncDecl, s ast.Stmt, held lockState) lockState {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+			if m, op := sl.mutexOp(call); m != "" {
+				switch op {
+				case "Lock", "RLock":
+					held[m] = call.Pos()
+				case "Unlock", "RUnlock":
+					delete(held, m)
+				}
+				return held
+			}
+		}
+		sl.scanBlocking(x, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to the end of the
+		// function, which is fine; statements after it are still
+		// "under the lock" for the blocking check, so do NOT release.
+		// Defers of other calls: their bodies run at return time.
+	case *ast.GoStmt:
+		// The spawned goroutine runs on its own timeline; argument
+		// evaluation is non-blocking for our operation set.
+	case *ast.IfStmt:
+		if x.Init != nil {
+			held = sl.walkStmt(fd, x.Init, held)
+		}
+		sl.scanBlockingExpr(x.Cond, held, x.Cond.Pos())
+		thenOut := sl.walkStmts(fd, x.Body.List, held.clone())
+		elseOut := held.clone()
+		switch alt := x.Else.(type) {
+		case *ast.BlockStmt:
+			elseOut = sl.walkStmts(fd, alt.List, held.clone())
+		case *ast.IfStmt:
+			elseOut = sl.walkStmt(fd, alt, held.clone())
+		}
+		// Terminating branches (return/panic) drop out of the join.
+		if terminates(x.Body) {
+			return elseOut
+		}
+		if x.Else != nil && blockTerminates(x.Else) {
+			return thenOut
+		}
+		return joinStates(thenOut, elseOut)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			held = sl.walkStmt(fd, x.Init, held)
+		}
+		if x.Cond != nil {
+			sl.scanBlockingExpr(x.Cond, held, x.Cond.Pos())
+		}
+		body := sl.walkStmts(fd, x.Body.List, held.clone())
+		return joinStates(held, body)
+	case *ast.RangeStmt:
+		sl.scanBlockingExpr(x.X, held, x.X.Pos())
+		body := sl.walkStmts(fd, x.Body.List, held.clone())
+		return joinStates(held, body)
+	case *ast.BlockStmt:
+		return sl.walkStmts(fd, x.List, held)
+	case *ast.LabeledStmt:
+		return sl.walkStmt(fd, x.Stmt, held)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			held = sl.walkStmt(fd, x.Init, held)
+		}
+		if x.Tag != nil {
+			sl.scanBlockingExpr(x.Tag, held, x.Tag.Pos())
+		}
+		return sl.walkCases(fd, x.Body, held)
+	case *ast.TypeSwitchStmt:
+		return sl.walkCases(fd, x.Body, held)
+	case *ast.SelectStmt:
+		if len(held) > 0 {
+			m, pos := anyLock(held)
+			sl.pass.Reportf(x.Pos(),
+				"select while holding %s (locked at %s); blocking channel ops under a shard lock serialize the shard", m, sl.pass.Fset.Position(pos))
+		}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				sl.walkStmts(fd, cc.Body, held.clone())
+			}
+		}
+	default:
+		sl.scanBlocking(s, held)
+	}
+	return held
+}
+
+// walkCases handles switch bodies: each case starts from the incoming
+// state; a lock released in every non-terminating case is released
+// after the switch.
+func (sl *shardlockChecker) walkCases(fd *ast.FuncDecl, body *ast.BlockStmt, held lockState) lockState {
+	out := held.clone()
+	first := true
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		caseOut := sl.walkStmts(fd, cc.Body, held.clone())
+		if terminatesStmts(cc.Body) {
+			continue
+		}
+		if first {
+			out = caseOut
+			first = false
+		} else {
+			out = joinStates(out, caseOut)
+		}
+	}
+	return out
+}
+
+// joinStates keeps only locks held on both paths (a lock released on
+// either side is treated as released, biasing toward no false
+// positives after joins).
+func joinStates(a, b lockState) lockState {
+	out := lockState{}
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func anyLock(held lockState) (string, token.Pos) {
+	for k, v := range held {
+		return k, v
+	}
+	return "", token.NoPos
+}
+
+func terminates(b *ast.BlockStmt) bool { return terminatesStmts(b.List) }
+
+func blockTerminates(s ast.Stmt) bool {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		return terminates(x)
+	case *ast.IfStmt:
+		return terminates(x.Body) && x.Else != nil && blockTerminates(x.Else)
+	}
+	return false
+}
+
+// terminatesStmts reports whether a statement list always transfers
+// control out (return, panic, break/continue/goto). Approximate: only
+// the last statement is examined.
+func terminatesStmts(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch x := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if id, isID := ast.Unparen(call.Fun).(*ast.Ident); isID && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(x)
+	case *ast.IfStmt:
+		return terminates(x.Body) && x.Else != nil && blockTerminates(x.Else)
+	}
+	return false
+}
+
+// scanBlocking inspects one statement (not descending into nested
+// statements with their own control flow — the walker handles those,
+// and walkStmt only calls this for leaf statements) for blocking
+// operations while locks are held, and for guarded-field writes.
+func (sl *shardlockChecker) scanBlocking(n ast.Node, held lockState) {
+	if as, ok := n.(*ast.AssignStmt); ok {
+		sl.checkGuardedWrites(as, held)
+	}
+	if inc, ok := n.(*ast.IncDecStmt); ok {
+		sl.checkGuardedWrite(inc.X, inc.Pos(), held)
+	}
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false // deferred execution
+		case *ast.SendStmt:
+			m, pos := anyLock(held)
+			sl.pass.Reportf(x.Pos(),
+				"channel send while holding %s (locked at %s)", m, sl.pass.Fset.Position(pos))
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				m, pos := anyLock(held)
+				sl.pass.Reportf(x.Pos(),
+					"channel receive while holding %s (locked at %s)", m, sl.pass.Fset.Position(pos))
+			}
+		case *ast.CallExpr:
+			if r := sl.directBlockReason(x); r != "" {
+				m, pos := anyLock(held)
+				sl.pass.Reportf(x.Pos(),
+					"blocking call (%s) while holding %s (locked at %s); release the lock before blocking", r, m, sl.pass.Fset.Position(pos))
+				return true
+			}
+			if fn := staticCallee(sl.pass.Info, x); fn != nil && fn.Pkg() == sl.pass.Pkg {
+				if r := sl.blocking[fn]; r != "" {
+					m, pos := anyLock(held)
+					sl.pass.Reportf(x.Pos(),
+						"call to %s, which %s, while holding %s (locked at %s); release the lock before blocking", fn.Name(), r, m, sl.pass.Fset.Position(pos))
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (sl *shardlockChecker) scanBlockingExpr(e ast.Expr, held lockState, _ token.Pos) {
+	if len(held) == 0 || e == nil {
+		return
+	}
+	sl.scanBlocking(&ast.ExprStmt{X: e}, held)
+}
+
+// --- guarded-field writes -------------------------------------------------
+
+// checkGuardedWrites enforces "cross-shard state through atomics":
+// writing a field of a struct that declares a sync.Mutex/RWMutex field
+// requires holding one of that struct's mutexes (any expression ending
+// in the mutex field name), except inside constructor functions that
+// return the struct type.
+func (sl *shardlockChecker) checkGuardedWrites(as *ast.AssignStmt, held lockState) {
+	for _, lhs := range as.Lhs {
+		sl.checkGuardedWrite(lhs, as.Pos(), held)
+	}
+}
+
+func (sl *shardlockChecker) checkGuardedWrite(lhs ast.Expr, pos token.Pos, held lockState) {
+	lhs = ast.Unparen(lhs)
+	// Unwrap index expressions: m[k] = v writes through the map/slice
+	// field m, which is the guarded object.
+	for {
+		if idx, ok := lhs.(*ast.IndexExpr); ok {
+			lhs = ast.Unparen(idx.X)
+			continue
+		}
+		break
+	}
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selInfo, ok := sl.pass.Info.Selections[sel]
+	if !ok || selInfo.Kind() != types.FieldVal {
+		return
+	}
+	recvT := selInfo.Recv()
+	mutexField := guardMutexField(recvT)
+	if mutexField == "" || sel.Sel.Name == mutexField {
+		return
+	}
+	// Writes in a constructor of the guarded type are initialization.
+	if sl.inConstructorOf(sel, recvT) {
+		return
+	}
+	// Is some held lock rooted at the same receiver (e.g. holding
+	// "sh.mu" while writing sh.inflight)? Match on receiver text.
+	recvText := types.ExprString(sel.X)
+	for m := range held {
+		if m == recvText+"."+mutexField {
+			return
+		}
+	}
+	sl.pass.Reportf(pos,
+		"write to %s.%s without holding %s.%s; guarded state must be written under its mutex (atomics for cross-shard counters)", recvText, sel.Sel.Name, recvText, mutexField)
+}
+
+// guardMutexField returns the name of the first sync.Mutex/RWMutex
+// field of the (possibly pointer-to) struct type, or "".
+func guardMutexField(t types.Type) string {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isSyncMutex(f.Type()) {
+			return f.Name()
+		}
+	}
+	return ""
+}
+
+// inConstructorOf reports whether the enclosing function declaration
+// returns (a pointer to) the named type of t — the constructor
+// exemption for initialization writes.
+func (sl *shardlockChecker) inConstructorOf(at ast.Node, t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	for _, file := range sl.pass.Files {
+		for _, decl := range file.Decls {
+			fd, isFd := decl.(*ast.FuncDecl)
+			if !isFd || fd.Body == nil {
+				continue
+			}
+			if at.Pos() < fd.Pos() || at.Pos() >= fd.End() {
+				continue
+			}
+			if fd.Type.Results == nil {
+				return false
+			}
+			for _, res := range fd.Type.Results.List {
+				rt := sl.pass.Info.TypeOf(res.Type)
+				if rt == nil {
+					continue
+				}
+				if p, isP := rt.(*types.Pointer); isP {
+					rt = p.Elem()
+				}
+				if n, isN := rt.(*types.Named); isN && n.Obj() == named.Obj() {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,25 @@
+package analysis
+
+import "testing"
+
+func TestShardlockAnalyzer(t *testing.T) {
+	runTestdata(t, Shardlock, "shardlock", ModulePath+"/internal/proxy")
+}
+
+func TestShardlockScopedToProxy(t *testing.T) {
+	// The identical fixture outside internal/proxy must stay silent.
+	loader := NewLoader(stdlibExports(t, []string{"net/http", "sync"}), nil)
+	pkg, err := loader.Check(ModulePath+"/internal/core", "testdata/shardlock", []string{"shardlock.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent, err := analyzePackage(pkg, loader.Fset, []*Analyzer{Shardlock}, NewFacts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range ent.Findings {
+		if f.Analyzer == Shardlock.Name {
+			t.Errorf("unexpected finding outside internal/proxy: %s", f)
+		}
+	}
+}

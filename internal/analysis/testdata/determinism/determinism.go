@@ -1,0 +1,96 @@
+// Test fixture for the determinism analyzer, type-checked as
+// streamcache/internal/sim so the deterministic-package scoping
+// applies. Positive cases carry // want comments; the rest are
+// negatives that must stay silent.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func sleeper() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+func durationMathOK(d time.Duration) float64 {
+	return d.Seconds() // negative: duration arithmetic never touches the clock
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want "process-global source"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "process-global source"
+}
+
+func seededRandOK(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // negative: seeded constructor chain
+	return rng.Float64()
+}
+
+func goroutineLaunch(ch chan int) {
+	go func() { ch <- 1 }() // want "goroutine launched in deterministic code"
+}
+
+func mapFloatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "order-sensitive accumulation into sum"
+	}
+	return sum
+}
+
+func mapIntAccumOK(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // negative: integer addition is commutative and exact
+	}
+	return n
+}
+
+func mapAppendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside range over map"
+	}
+	return keys
+}
+
+func mapAppendSortedOK(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // negative: collect-then-sort idiom
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sliceRangeOK(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v // negative: slice iteration order is fixed
+	}
+	return sum
+}
+
+type sink struct{}
+
+func (sink) Row(cells []string) {}
+
+func mapRowEmit(s sink, m map[string]string) {
+	for k, v := range m {
+		s.Row([]string{k, v}) // want "Row called inside range over map"
+	}
+}
+
+func suppressedWallClock() int64 {
+	//mediavet:ignore determinism fixture exercising the suppression path
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,95 @@
+// Test fixture for the hotpath analyzer, type-checked as
+// streamcache/internal/core so module-internal call edges resolve.
+// Only //mediavet:hotpath-annotated functions are checked.
+package core
+
+import (
+	"fmt"
+	"strconv"
+)
+
+//mediavet:hotpath
+func hotFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want "fmt.Sprintf formats through reflection" "conversion of int to any boxes"
+}
+
+//mediavet:hotpath
+func hotStrconvOK(x int) string {
+	return strconv.Itoa(x) // negative: strconv is the sanctioned path
+}
+
+//mediavet:hotpath
+func hotConcat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//mediavet:hotpath
+func hotConstConcatOK() string {
+	return "prefix-" + "suffix" // negative: constant-folded at compile time
+}
+
+//mediavet:hotpath
+func hotBox(x int) any {
+	return x // want "boxes the value on the heap"
+}
+
+//mediavet:hotpath
+func hotPointerBoxOK(p *int) any {
+	return p // negative: pointers box without allocating
+}
+
+//mediavet:hotpath
+func hotGrowingAppend(n int) int {
+	var s []int
+	for i := 0; i < n; i++ {
+		s = append(s, i) // want "not pre-sized with a 3-arg make"
+	}
+	return len(s)
+}
+
+//mediavet:hotpath
+func hotPresizedAppendOK(n int) int {
+	s := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		s = append(s, i) // negative: capacity budgeted up front
+	}
+	return len(s)
+}
+
+//mediavet:hotpath
+func hotClosure(n int) func() int {
+	return func() int { return n } // want "closure captures n"
+}
+
+func coldHelper(x int) int { return x + 1 }
+
+//mediavet:hotpath
+func hotAnnotatedHelper(x int) int { return x * 2 }
+
+//mediavet:hotpath
+func hotCallsCold(x int) int {
+	return coldHelper(x) // want "coldHelper which is not //mediavet:hotpath-annotated"
+}
+
+//mediavet:hotpath
+func hotCallsHotOK(x int) int {
+	return hotAnnotatedHelper(x) // negative: annotated callee
+}
+
+//mediavet:hotpath
+func hotPanicOK(x int) int {
+	if x < 0 {
+		panic(fmt.Sprintf("negative input %d", x)) // negative: panic args are the cold path
+	}
+	return x
+}
+
+//mediavet:hotpath
+func hotSuppressed(x int) string {
+	//mediavet:ignore hotpath fixture exercising the suppression path
+	return fmt.Sprintf("%d", x)
+}
+
+func coldFmtOK(x int) string {
+	return fmt.Sprintf("%d", x) // negative: unannotated functions are unchecked
+}

@@ -1,0 +1,98 @@
+// Test fixture for the rowsink analyzer, type-checked as
+// streamcache/internal/experiments.
+package experiments
+
+import "fmt"
+
+type TableMeta struct {
+	Name   string
+	Header []string
+}
+
+type staticTable struct {
+	meta TableMeta
+	rows [][]string
+}
+
+func matchedColumnsOK() *staticTable {
+	t := &staticTable{meta: TableMeta{
+		Header: []string{"technique", "origin_GB", "savings"},
+	}}
+	t.rows = append(t.rows, []string{"unicast", "1.0", "0.0"}) // negative: 3 columns vs 3
+	return t
+}
+
+func shortRow() *staticTable {
+	t := &staticTable{meta: TableMeta{
+		Header: []string{"technique", "origin_GB", "savings"},
+	}}
+	t.rows = append(t.rows, []string{"unicast", "1.0"}) // want "2 columns but the table header declares 3"
+	return t
+}
+
+func tableLiteralMismatch() *staticTable {
+	return &staticTable{
+		meta: TableMeta{Header: []string{"a", "b"}},
+		rows: [][]string{
+			{"1", "2"},      // negative
+			{"1", "2", "3"}, // want "3 columns but the table header declares 2"
+		},
+	}
+}
+
+type rowSpec struct {
+	Header []string
+	Render func(i int) []string
+}
+
+func rendererMismatch() rowSpec {
+	return rowSpec{
+		Header: []string{"x", "y"},
+		Render: func(i int) []string {
+			return []string{"only"} // want "1 columns but the table header declares 2"
+		},
+	}
+}
+
+// Package-level headers pair with rows through the identifier, and
+// their cells are schema constants.
+var scheduleHeader = []string{"t_s", "object", "bytes"}
+
+func headerByIdentMismatch(sink interface{ Row([]string) }) {
+	_ = TableMeta{Header: scheduleHeader}
+	sink.Row([]string{"0.1", "7"}) // want "2 columns but the table header declares 3"
+}
+
+var headerSuffix = computedSuffix()
+
+func computedSuffix() string { return "_v2" }
+
+var liveHeader = []string{"goodput", "slo" + headerSuffix} // want "header cell is not a compile-time constant"
+
+type journalRecord struct {
+	Type string
+	Seq  int
+}
+
+func recordTags(dynamic string) []journalRecord {
+	return []journalRecord{
+		{Type: "header", Seq: 1}, // negative: constant tag
+		{Type: dynamic, Seq: 2},  // want "journalRecord.Type is not a compile-time constant"
+	}
+}
+
+type Scale struct{ Objects int }
+
+func (s Scale) Fingerprint() string {
+	format := "v1|objects=%d"
+	if s.Objects > 10 {
+		format = "v2|objects=%d"
+	}
+	return fmt.Sprintf(format, s.Objects) // want "Fingerprint format string is not a constant"
+}
+
+type Stable struct{ Objects int }
+
+func (s Stable) Fingerprint() string {
+	return fmt.Sprintf("v1|objects=%d", s.Objects) // negative: constant format
+}

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// vetConfig mirrors the JSON config file cmd/go writes for a vettool
+// (see $GOROOT/src/cmd/go/internal/work/exec.go). go vet invokes the
+// tool once per package as `mediavet <objdir>/vet.cfg`, after first
+// querying `mediavet -flags` and `mediavet -V=full`.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+
+	PackageVetx map[string]string // dep import path -> fact file
+	VetxOnly    bool              // facts only, no diagnostics wanted
+	VetxOutput  string            // where to write this package's facts
+
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// Unitchecker handles one `go vet -vettool` invocation for the config
+// file at cfgPath and returns the process exit code: 0 clean, 1 hard
+// error, 2 findings (printed to stderr as file:line:col lines, which
+// go vet relays verbatim).
+func Unitchecker(cfgPath string, analyzers []*Analyzer, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "mediavet: reading config: %v\n", err)
+		return 1
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(stderr, "mediavet: parsing config %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Test variants arrive as "pkg [pkg.test]"; the invariants are
+	// scoped by the real package path.
+	pkgPath := cfg.ImportPath
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+
+	// Facts from already-vetted dependencies.
+	facts := NewFacts()
+	for _, vetx := range cfg.PackageVetx {
+		b, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // missing facts degrade coverage, not correctness
+		}
+		dep := new(Facts)
+		if json.Unmarshal(b, dep) == nil {
+			facts.Merge(dep)
+		}
+	}
+
+	writeVetx := func(own *Facts) {
+		if cfg.VetxOutput == "" {
+			return
+		}
+		// Export merged facts so transitive annotations survive even
+		// if cmd/go only wires direct deps into PackageVetx.
+		merged := NewFacts()
+		merged.Merge(facts)
+		merged.Merge(own)
+		b, err := json.Marshal(merged)
+		if err != nil {
+			return
+		}
+		_ = os.WriteFile(cfg.VetxOutput, b, 0o644)
+	}
+
+	if cfg.VetxOnly {
+		// Facts need only syntax: parse, collect annotations, exit.
+		fset := token.NewFileSet()
+		var files []*ast.File
+		for _, name := range cfg.GoFiles {
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				if cfg.SucceedOnTypecheckFailure {
+					writeVetx(NewFacts())
+					return 0
+				}
+				fmt.Fprintf(stderr, "mediavet: %v\n", err)
+				return 1
+			}
+			files = append(files, f)
+		}
+		writeVetx(CollectHotpathFacts(pkgPath, files))
+		return 0
+	}
+
+	loader := NewLoader(cfg.PackageFile, cfg.ImportMap)
+	pkg, err := loader.Check(pkgPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(NewFacts())
+			return 0
+		}
+		fmt.Fprintf(stderr, "mediavet: %v\n", err)
+		return 1
+	}
+
+	ent, err := analyzePackage(pkg, loader.Fset, analyzers, facts)
+	if err != nil {
+		fmt.Fprintf(stderr, "mediavet: %v\n", err)
+		return 1
+	}
+	writeVetx(ent.Facts)
+
+	// In vettool mode the same package is analyzed repeatedly (plain
+	// and test variants), so stale-ignore findings from the pseudo
+	// analyzer "mediavet" are dropped here; the standalone driver and
+	// the ignore meta-test own that check.
+	var real []Finding
+	for _, f := range ent.Findings {
+		if f.Analyzer == "mediavet" {
+			continue
+		}
+		real = append(real, f)
+	}
+	if len(real) == 0 {
+		return 0
+	}
+	sortFindings(real)
+	for _, f := range real {
+		fmt.Fprintf(stderr, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	}
+	return 2
+}

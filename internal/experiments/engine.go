@@ -70,10 +70,14 @@ func (s Scale) parallelism() int {
 }
 
 // newArena builds the experiment-wide memoization arena (nil when the
-// scale opts out of reuse).
+// scale opts out of reuse). A caller-supplied s.Arena takes priority so
+// one arena can span every experiment of a figure set.
 func (s Scale) newArena() *sim.Arena {
 	if s.NoWorkloadReuse {
 		return nil
+	}
+	if s.Arena != nil {
+		return s.Arena
 	}
 	return sim.NewArena()
 }

@@ -67,6 +67,13 @@ type Scale struct {
 	// ResumeJournal and also attach it as a JournalSink so fresh rows
 	// keep checkpointing. Nil disables resumption.
 	Resume *Journal
+	// Arena, when non-nil, is shared by every experiment run at this
+	// scale, so sizing workloads, full request traces, and synthetic
+	// logs are generated once per distinct config across the whole
+	// figure set instead of once per experiment (cmd/figures sets it).
+	// Nil gives each experiment a private arena. Deliberately excluded
+	// from Fingerprint: memoization cannot change any row.
+	Arena *sim.Arena
 }
 
 // SmallScale returns the fast configuration (~1/10 of the paper).
@@ -140,9 +147,12 @@ func (s Scale) workload() workload.Config {
 // totalBytes estimates the unique-object volume for cache sizing. The
 // sizing workload uses the seed of run 0 (sim.SplitSeed, matching what
 // sim.Run derives internally) so the cache_pct axis is a fraction of an
-// object population the simulations actually realize.
-func (s Scale) totalBytes() (int64, error) {
-	w, err := workload.Generate(workload.Config{
+// object population the simulations actually realize. Generation is
+// memoized through the arena (nil generates fresh, identically): every
+// runner at one scale sizes against the same workload, so a shared
+// arena pays for it once.
+func (s Scale) totalBytes(arena *sim.Arena) (int64, error) {
+	w, _, err := arena.Workload(workload.Config{
 		NumObjects:  s.Objects,
 		NumRequests: 1,
 		Seed:        sim.SplitSeed(s.Seed, 0),
@@ -162,11 +172,11 @@ func policySweep(s Scale, meta TableMeta, policies []core.Policy, variation band
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	total, err := s.totalBytes()
+	arena := s.newArena()
+	total, err := s.totalBytes(arena)
 	if err != nil {
 		return nil, err
 	}
-	arena := s.newArena()
 	sw := &taskSweep{meta: meta}
 	sw.meta.Header = []string{"cache_pct", "policy", "traffic_reduction", "avg_delay_s", "avg_quality", "total_value", "hit_ratio"}
 	for _, frac := range s.CacheFractions {
@@ -198,7 +208,7 @@ func table1Runner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	w, err := workload.Generate(workload.Config{
+	w, _, err := s.newArena().Workload(workload.Config{
 		NumObjects:  s.Objects,
 		NumRequests: s.Requests,
 		Seed:        s.Seed,
@@ -301,7 +311,7 @@ func analyzeSyntheticLog(s Scale, v bandwidth.Variability) (*trace.Analysis, err
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	entries, err := trace.Generate(trace.GenConfig{
+	entries, err := s.newArena().Trace(trace.GenConfig{
 		Entries:       s.TraceEntries,
 		Servers:       s.TraceServers,
 		Base:          bandwidth.NLANR(),
@@ -372,7 +382,8 @@ func figure6Runner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	total, err := s.totalBytes()
+	arena := s.newArena()
+	total, err := s.totalBytes(arena)
 	if err != nil {
 		return nil, err
 	}
@@ -381,7 +392,6 @@ func figure6Runner(s Scale) (runner, error) {
 		Note:   "expect: all metrics improve with alpha; orderings preserved",
 		Header: []string{"alpha", "cache_pct", "policy", "traffic_reduction", "avg_delay_s", "avg_quality"},
 	}}
-	arena := s.newArena()
 	for _, alpha := range s.AlphaSweep {
 		for _, frac := range s.CacheFractions {
 			for _, p := range []core.Policy{core.NewIB(), core.NewPB()} {
@@ -435,7 +445,8 @@ func figure9Runner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	total, err := s.totalBytes()
+	arena := s.newArena()
+	total, err := s.totalBytes(arena)
 	if err != nil {
 		return nil, err
 	}
@@ -444,7 +455,6 @@ func figure9Runner(s Scale) (runner, error) {
 		Note:   "expect: traffic reduction decreases in e; delay minimized at moderate e",
 		Header: []string{"e", "cache_pct", "traffic_reduction", "avg_delay_s", "avg_quality"},
 	}}
-	arena := s.newArena()
 	for _, e := range s.ESweep {
 		p, err := core.NewHybrid(e)
 		if err != nil {
@@ -498,7 +508,8 @@ func figure12Runner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	total, err := s.totalBytes()
+	arena := s.newArena()
+	total, err := s.totalBytes(arena)
 	if err != nil {
 		return nil, err
 	}
@@ -507,7 +518,6 @@ func figure12Runner(s Scale) (runner, error) {
 		Note:   "expect: total value maximized at a moderate e",
 		Header: []string{"e", "cache_pct", "traffic_reduction", "total_value"},
 	}}
-	arena := s.newArena()
 	for _, e := range s.ESweep {
 		p, err := core.NewHybridV(e)
 		if err != nil {
@@ -540,7 +550,8 @@ func ablationEvictionRunner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	total, err := s.totalBytes()
+	arena := s.newArena()
+	total, err := s.totalBytes(arena)
 	if err != nil {
 		return nil, err
 	}
@@ -548,7 +559,6 @@ func ablationEvictionRunner(s Scale) (runner, error) {
 		Name:   "Ablation: byte-granular vs whole-object eviction (PB policy, constant bandwidth)",
 		Header: []string{"cache_pct", "eviction", "traffic_reduction", "avg_delay_s", "avg_quality"},
 	}}
-	arena := s.newArena()
 	for _, frac := range s.CacheFractions {
 		for _, mode := range []struct {
 			label string
@@ -580,7 +590,8 @@ func ablationEstimatorsRunner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	total, err := s.totalBytes()
+	arena := s.newArena()
+	total, err := s.totalBytes(arena)
 	if err != nil {
 		return nil, err
 	}
@@ -596,7 +607,6 @@ func ablationEstimatorsRunner(s Scale) (runner, error) {
 		{"ewma_0.3", sim.EWMAEstimator(0.3)},
 		{"underestimate_0.5", sim.UnderestimatingOracle(0.5)},
 	}
-	arena := s.newArena()
 	for _, frac := range s.CacheFractions {
 		for _, est := range estimators {
 			sw.tasks = append(sw.tasks, simRow(arena, sim.Config{

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math/rand"
+	"sort"
 
 	"streamcache/internal/bandwidth"
 	"streamcache/internal/core"
@@ -22,7 +23,7 @@ func extensionStreamMergingRunner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	w, err := workload.Generate(workload.Config{
+	w, _, err := s.newArena().Workload(workload.Config{
 		NumObjects:  s.Objects,
 		NumRequests: s.Requests,
 		Seed:        s.Seed,
@@ -70,7 +71,16 @@ func extensionStreamMergingRunner(s Scale) (runner, error) {
 		"unicast": {}, "batch_30s": {}, "patching": {}, "patching+PB_cache": {},
 	}
 	var unicastBytes float64
-	for id, ts := range byObject {
+	// Iterate objects in sorted-ID order: the per-technique totals are
+	// float sums, and float addition order must not depend on map
+	// iteration order or reruns drift in the low bits.
+	objIDs := make([]int, 0, len(byObject))
+	for id := range byObject {
+		objIDs = append(objIDs, id)
+	}
+	sort.Ints(objIDs)
+	for _, id := range objIDs {
+		ts := byObject[id]
 		o := w.Objects[id]
 		obj := merge.Object{Size: o.Size, Rate: o.Rate}
 		uni, err := merge.Unicast(ts, obj)
@@ -137,7 +147,8 @@ func extensionPartialViewingRunner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	total, err := s.totalBytes()
+	arena := s.newArena()
+	total, err := s.totalBytes(arena)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +157,6 @@ func extensionPartialViewingRunner(s Scale) (runner, error) {
 		Note:   "prefix caching gains relative effectiveness when sessions only watch the head of the stream",
 		Header: []string{"partial_view_prob", "policy", "traffic_reduction", "avg_delay_s", "hit_ratio"},
 	}}
-	arena := s.newArena()
 	for _, prob := range []float64{0, 0.3, 0.7} {
 		for _, p := range []core.Policy{core.NewIF(), core.NewPB()} {
 			sw.tasks = append(sw.tasks, simRow(arena, sim.Config{
@@ -180,7 +190,8 @@ func extensionBaselinesRunner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	total, err := s.totalBytes()
+	arena := s.newArena()
+	total, err := s.totalBytes(arena)
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +212,6 @@ func extensionBaselinesRunner(s Scale) (runner, error) {
 		{"IB", core.NewIB},
 		{"PB", core.NewPB},
 	}
-	arena := s.newArena()
 	for _, f := range factories {
 		sw.tasks = append(sw.tasks, simRow(arena, sim.Config{
 			Workload:      s.workload(),
@@ -229,7 +239,8 @@ func extensionActiveProbingRunner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	total, err := s.totalBytes()
+	arena := s.newArena()
+	total, err := s.totalBytes(arena)
 	if err != nil {
 		return nil, err
 	}
@@ -247,7 +258,6 @@ func extensionActiveProbingRunner(s Scale) (runner, error) {
 		{"active_probe_jitter_0.20", sim.ActiveProbeEstimator(0.20)},
 		{"active_probe_jitter_0.40", sim.ActiveProbeEstimator(0.40)},
 	}
-	arena := s.newArena()
 	for _, est := range estimators {
 		sw.tasks = append(sw.tasks, simRow(arena, sim.Config{
 			Workload:   s.workload(),

@@ -203,12 +203,12 @@ func refinedESweepRunner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	total, err := s.totalBytes()
+	arena := s.newArena()
+	total, err := s.totalBytes(arena)
 	if err != nil {
 		return nil, err
 	}
 	frac := s.midFraction()
-	arena := s.newArena()
 	return refinedSimSweep(s, TableMeta{
 		Name:   "Refined sweep: underestimation factor e, adaptive (delay objective)",
 		Note:   "coarse ESweep pass, then gradient-guided bisection of avg_delay_s; mid-size cache, NLANR variability",
@@ -247,12 +247,12 @@ func refinedSigmaSweepRunner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	total, err := s.totalBytes()
+	arena := s.newArena()
+	total, err := s.totalBytes(arena)
 	if err != nil {
 		return nil, err
 	}
 	frac := s.midFraction()
-	arena := s.newArena()
 	return refinedSimSweep(s, TableMeta{
 		Name:   "Refined sweep: bandwidth-variability sigma, adaptive (PB policy)",
 		Note:   "coarse SigmaSweep pass, then gradient-guided bisection of avg_delay_s; mid-size cache",
@@ -291,11 +291,11 @@ func refinedCacheSweepRunner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	total, err := s.totalBytes()
+	arena := s.newArena()
+	total, err := s.totalBytes(arena)
 	if err != nil {
 		return nil, err
 	}
-	arena := s.newArena()
 	return refinedSimSweep(s, TableMeta{
 		Name:   "Refined sweep: cache fraction, adaptive (PB policy, constant bandwidth)",
 		Note:   "coarse CacheFractions pass, then gradient-guided bisection of traffic_reduction",

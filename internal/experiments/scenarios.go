@@ -35,7 +35,8 @@ func scenarioMatrixRunner(s Scale) (runner, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	total, err := s.totalBytes()
+	arena := s.newArena()
+	total, err := s.totalBytes(arena)
 	if err != nil {
 		return nil, err
 	}
@@ -59,7 +60,6 @@ func scenarioMatrixRunner(s Scale) (runner, error) {
 			"traffic_reduction", "avg_delay_s", "avg_quality", "total_value", "hit_ratio",
 		},
 	}}
-	arena := s.newArena()
 	for _, sigma := range s.sigmas() {
 		variation, err := bandwidth.NewLognormalRatio(sigma)
 		if err != nil {

@@ -58,6 +58,7 @@ func newRelay(start, retain, capacity int64, cancel context.CancelFunc) *relay {
 // attach registers one client reader. It fails only when the relay's
 // fetch has already been canceled (every previous reader left), in
 // which case the caller must fetch on its own.
+//mediavet:hotpath
 func (r *relay) attach() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -70,6 +71,7 @@ func (r *relay) attach() bool {
 
 // detach unregisters one client reader; the last one out aborts an
 // unfinished fetch.
+//mediavet:hotpath
 func (r *relay) detach() {
 	r.mu.Lock()
 	abort := false
@@ -88,6 +90,7 @@ func (r *relay) detach() {
 // raiseRetain lifts the store-retention limit to at least n; attaching
 // requests call it so a prefix target that grew mid-flight is still
 // materialized by the shared fetch.
+//mediavet:hotpath
 func (r *relay) raiseRetain(n int64) {
 	r.mu.Lock()
 	if n > r.retain {
@@ -97,6 +100,7 @@ func (r *relay) raiseRetain(n int64) {
 }
 
 // retainLimit returns the current store-retention limit.
+//mediavet:hotpath
 func (r *relay) retainLimit() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -105,6 +109,7 @@ func (r *relay) retainLimit() int64 {
 
 // append publishes p to every attached reader. The fetch goroutine is
 // the only appender.
+//mediavet:hotpath
 func (r *relay) append(p []byte) {
 	r.mu.Lock()
 	r.buf = append(r.buf, p...)
@@ -136,6 +141,7 @@ func (r *relay) wake() {
 // off. The returned slice aliases an immutable buffer region and stays
 // valid after the lock is released. done reports that the reader
 // should stop after consuming the returned chunk.
+//mediavet:hotpath
 func (r *relay) next(ctx context.Context, off int64) (chunk []byte, done bool, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()

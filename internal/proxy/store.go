@@ -16,6 +16,7 @@ func NewPrefixStore() *PrefixStore {
 }
 
 // Prefix returns a copy of object id's cached prefix (nil when absent).
+//mediavet:hotpath
 func (s *PrefixStore) Prefix(id int) []byte {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -29,6 +30,7 @@ func (s *PrefixStore) Prefix(id int) []byte {
 }
 
 // Len returns the stored prefix length of object id.
+//mediavet:hotpath
 func (s *PrefixStore) Len(id int) int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -68,6 +70,7 @@ func (s *PrefixStore) AppendAt(id int, offset int64, data []byte, limit int64) i
 
 // Truncate shrinks object id's prefix to at most n bytes, deleting it
 // entirely at zero.
+//mediavet:hotpath
 func (s *PrefixStore) Truncate(id int, n int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

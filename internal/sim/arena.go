@@ -24,6 +24,7 @@ import (
 
 	"streamcache/internal/bandwidth"
 	"streamcache/internal/core"
+	"streamcache/internal/trace"
 	"streamcache/internal/workload"
 )
 
@@ -33,17 +34,19 @@ import (
 // a pure function of its key, so results never depend on which goroutine
 // populated an entry first.
 type Arena struct {
-	mu    sync.Mutex
-	wls   map[workload.Config]*workloadEntry
-	paths map[pathKey]*pathEntry
+	mu     sync.Mutex
+	wls    map[workload.Config]*workloadEntry
+	paths  map[pathKey]*pathEntry
+	traces map[trace.GenConfig]*traceEntry
 }
 
 // NewArena builds an empty arena. Use one arena per experiment (or per
 // sweep) and drop it afterwards to release the cached workloads.
 func NewArena() *Arena {
 	return &Arena{
-		wls:   make(map[workload.Config]*workloadEntry),
-		paths: make(map[pathKey]*pathEntry),
+		wls:    make(map[workload.Config]*workloadEntry),
+		paths:  make(map[pathKey]*pathEntry),
+		traces: make(map[trace.GenConfig]*traceEntry),
 	}
 }
 
@@ -67,6 +70,21 @@ type pathKey struct {
 type pathEntry struct {
 	once  sync.Once
 	means []float64
+}
+
+type traceEntry struct {
+	once    sync.Once
+	entries []trace.Entry
+	err     error
+}
+
+// dynComparable reports whether v's dynamic value can be used inside a
+// map key without panicking. Nil interface values compare fine.
+func dynComparable(v any) bool {
+	if v == nil {
+		return true
+	}
+	return reflect.TypeOf(v).Comparable()
 }
 
 // coreObjects converts a generated catalog to the cache's object type.
@@ -147,4 +165,29 @@ func (a *Arena) PathMeans(base bandwidth.Model, seed int64, n int) []float64 {
 		e.means = samplePathMeans(base, seed, n)
 	})
 	return e.means
+}
+
+// Trace returns the (possibly cached) synthetic access log generated
+// from cfg. Figures 2 and 3 analyze the same log shape at two
+// variability settings, and a sweep-shared arena generates each
+// distinct GenConfig exactly once. Memoization requires a comparable
+// config (Base/Variation are interface fields: share model singletons
+// like bandwidth.NLANR()); non-comparable configs and nil arenas
+// generate fresh, with identical entries either way. The returned
+// slice is shared and must not be mutated.
+func (a *Arena) Trace(cfg trace.GenConfig) ([]trace.Entry, error) {
+	if a == nil || !dynComparable(cfg.Base) || !dynComparable(cfg.Variation) {
+		return trace.Generate(cfg)
+	}
+	a.mu.Lock()
+	e := a.traces[cfg]
+	if e == nil {
+		e = &traceEntry{}
+		a.traces[cfg] = e
+	}
+	a.mu.Unlock()
+	e.once.Do(func() {
+		e.entries, e.err = trace.Generate(cfg)
+	})
+	return e.entries, e.err
 }

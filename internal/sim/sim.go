@@ -279,9 +279,11 @@ func (s *runScratch) cacheFor(capacity int64, policy core.Policy, opts ...core.O
 
 var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}
 
+//mediavet:hotpath
 func runOnce(cfg Config, seed int64) (Metrics, error) {
 	wcfg := cfg.Workload
 	wcfg.Seed = seed
+	//mediavet:ignore hotpath per-run setup: the arena memoizes generation, so this is a map lookup amortized over NumRequests accesses
 	wl, objs, err := cfg.Arena.Workload(wcfg)
 	if err != nil {
 		return Metrics{}, err
@@ -293,8 +295,10 @@ func runOnce(cfg Config, seed int64) (Metrics, error) {
 	scratch := scratchPool.Get().(*runScratch)
 	defer scratchPool.Put(scratch)
 	opts := make([]core.Option, 0, len(cfg.CacheOptions)+1)
+	//mediavet:ignore hotpath per-run setup: option construction happens once per run, before the request loop
 	opts = append(opts, core.WithExpectedObjects(len(objs)))
 	opts = append(opts, cfg.CacheOptions...)
+	//mediavet:ignore hotpath per-run setup: the pooled scratch reuses cache storage across runs; see BenchmarkSimRunParallelism allocs
 	cache, err := scratch.cacheFor(cfg.CacheBytes, policy, opts...)
 	if err != nil {
 		return Metrics{}, err
@@ -306,6 +310,7 @@ func runOnce(cfg Config, seed int64) (Metrics, error) {
 	// lets the arena reuse the (deterministic) mean assignment without
 	// perturbing per-request draws.
 	pathSeed := seed ^ netSeedSalt
+	//mediavet:ignore hotpath per-run setup: memoized path-mean assignment, shared read-only across runs
 	means := cfg.Arena.PathMeans(cfg.Base, pathSeed, len(objs))
 	instRNG := rand.New(rand.NewSource(SplitSeed(pathSeed, 1)))
 
@@ -314,6 +319,7 @@ func runOnce(cfg Config, seed int64) (Metrics, error) {
 	oracle := cfg.Estimators == nil
 	var estimators []bandwidth.Estimator
 	if !oracle {
+		//mediavet:ignore hotpath per-run setup: estimator slice comes from the pooled scratch, reused across runs
 		estimators = scratch.estSlice(len(objs))
 		for i := range estimators {
 			estimators[i] = cfg.Estimators(i, means[i])

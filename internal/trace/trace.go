@@ -19,6 +19,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -321,7 +322,16 @@ func (a *Analysis) Histogram(binWidth, maxBW float64) (*metrics.Histogram, error
 // sample divided by that mean.
 func (a *Analysis) SampleToMeanRatios() []float64 {
 	var ratios []float64
-	for _, samples := range a.PerServer {
+	// Sorted server order: downstream consumers fold the ratios into
+	// order-sensitive float accumulators (Welford), so the slice order
+	// must not follow map iteration order.
+	servers := make([]string, 0, len(a.PerServer))
+	for srv := range a.PerServer {
+		servers = append(servers, srv)
+	}
+	sort.Strings(servers)
+	for _, srv := range servers {
+		samples := a.PerServer[srv]
 		if len(samples) < 2 {
 			continue
 		}

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Third-party lint pass: staticcheck and govulncheck at pinned
+# versions, fetched on demand with `go run pkg@version` so no tool
+# binaries live in the repo. On machines without network access to the
+# module proxy the fetch fails; that is downgraded to a warning unless
+# LINT_STRICT=1 (CI sets it), so offline development keeps `make lint`
+# green while CI still enforces both tools.
+set -uo pipefail
+
+STATICCHECK_VERSION=${STATICCHECK_VERSION:-v0.4.7}
+GOVULNCHECK_VERSION=${GOVULNCHECK_VERSION:-v1.1.3}
+LINT_STRICT=${LINT_STRICT:-0}
+
+# Exit patterns that mean "could not reach the module proxy", not
+# "the code failed the check".
+is_network_failure() {
+    grep -Eq 'dial tcp|no such host|connection refused|i/o timeout|proxy.golang.org|TLS handshake timeout|missing GOSUMDB|module lookup disabled|no required module provides package' <<<"$1"
+}
+
+run_tool() {
+    local label=$1 pkg=$2
+    shift 2
+    echo "lint-extra: $label"
+    local out
+    if out=$(go run "$pkg" "$@" 2>&1); then
+        [[ -n "$out" ]] && echo "$out"
+        return 0
+    fi
+    local status=$?
+    if is_network_failure "$out" && [[ "$LINT_STRICT" != 1 ]]; then
+        echo "lint-extra: WARNING: $label unavailable offline (set LINT_STRICT=1 to enforce)" >&2
+        return 0
+    fi
+    echo "$out"
+    return "$status"
+}
+
+fail=0
+run_tool "staticcheck $STATICCHECK_VERSION" \
+    "honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION" ./... || fail=1
+run_tool "govulncheck $GOVULNCHECK_VERSION" \
+    "golang.org/x/vuln/cmd/govulncheck@$GOVULNCHECK_VERSION" ./... || fail=1
+
+exit "$fail"
