@@ -7,14 +7,14 @@ SHELL := /bin/bash
 # workload arena vs the unmemoized A/B control), the run-level pool, the
 # zero-allocation cache hot path, and the sharded live proxy tier
 # (serialized shards=1 vs sharded shards=8 throughput).
-BENCH_PATTERN ?= BenchmarkSweepSequential|BenchmarkSweepParallel8|BenchmarkSweepUnmemoized|BenchmarkSimRunParallelism|BenchmarkCacheOpThroughput|BenchmarkAccess|BenchmarkWorkloadGeneration|BenchmarkProxyServe
+BENCH_PATTERN ?= BenchmarkSweepSequential|BenchmarkSweepParallel8|BenchmarkSweepUnmemoized|BenchmarkSimRunParallelism|BenchmarkCacheOpThroughput|BenchmarkAccess|BenchmarkWorkloadGeneration|BenchmarkProxyServe|BenchmarkRelayCoalesce
 # Override with BENCHTIME=1x for a CI smoke run; the default gives
 # stable numbers locally.
 BENCHTIME ?= 2s
 BENCH_JSON ?= BENCH.json
 BENCH_BASELINE ?=
 
-.PHONY: all ci vet lint lint-check build test race bench bench-smoke bench-json fuzz-smoke figures docs-check shard-check proxy-check load-check clean
+.PHONY: all ci vet lint lint-check build test race bench bench-smoke bench-json bench-gate fuzz-smoke figures docs-check shard-check proxy-check load-check clean
 
 all: ci
 
@@ -70,6 +70,23 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -out $(BENCH_JSON) \
 			$(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE)) \
 			$(if $(BENCH_NOTE),-note '$(BENCH_NOTE)')
+
+## bench-gate: the perf ratchet. Rerun the pinned data-plane benchmarks
+## and fail if any regresses against the committed baseline: more than
+## GATE_REGRESS fractional ns/op slowdown, or ANY allocs/op increase.
+## Locally the default 15% tolerance catches real slowdowns; CI runs
+## `make bench-gate GATE_REGRESS=1.0` because ns/op is machine-dependent
+## across runners while allocs/op is not — the alloc ratchet is always
+## strict. Regenerate the baseline with bench-json when a PR
+## legitimately moves the numbers.
+GATE_PATTERN ?= BenchmarkAccess|BenchmarkProxyServe|BenchmarkRelayCoalesce
+GATE_BASELINE ?= BENCH_PR8.json
+GATE_REGRESS ?= 0.15
+GATE_BENCHTIME ?= 1s
+bench-gate:
+	set -o pipefail; \
+	$(GO) test -run '^$$' -bench '$(GATE_PATTERN)' -benchtime $(GATE_BENCHTIME) ./internal/core/ ./internal/proxy/ \
+		| $(GO) run ./cmd/benchjson -compare $(GATE_BASELINE) -max-regress $(GATE_REGRESS) -match '$(GATE_PATTERN)'
 
 ## fuzz-smoke: a short fuzz of the trace parser targets.
 fuzz-smoke:

@@ -7,6 +7,16 @@
 //
 //	go test -run '^$' -bench . -benchtime 1x . | benchjson -out BENCH.json
 //	benchjson -baseline BENCH_PR2.json -out BENCH_PR3.json < bench.txt
+//
+// With -compare the tool becomes a regression gate instead of a
+// recorder: the fresh run on stdin is diffed against the committed
+// baseline and the exit status is nonzero when any pinned benchmark
+// regresses — more than -max-regress ns/op slowdown, any allocs/op
+// increase, or a benchmark missing from the fresh run. This is the
+// ratchet behind `make bench-gate`: the trajectory can only move
+// forward.
+//
+//	go test -run '^$' -bench . . | benchjson -compare BENCH_PR8.json
 package main
 
 import (
@@ -45,11 +55,16 @@ type File struct {
 	Benchmarks  []Result `json:"benchmarks"`
 }
 
-// benchLine matches one benchmark result row. The optional B/op and
-// allocs/op columns appear when the benchmark calls ReportAllocs (or
-// -benchmem is set).
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+// benchLine matches the fixed prefix of one benchmark result row.
+// B/op and allocs/op are extracted separately because a variable set of
+// columns (MB/s from SetBytes, custom ReportMetric units like laps/op)
+// can sit between ns/op and the allocation columns.
+var (
+	benchLine = regexp.MustCompile(
+		`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+	bytesCol  = regexp.MustCompile(`([\d.]+) B/op`)
+	allocsCol = regexp.MustCompile(`([\d.]+) allocs/op`)
+)
 
 func main() {
 	if err := run(); err != nil {
@@ -60,9 +75,12 @@ func main() {
 
 func run() error {
 	var (
-		out      = flag.String("out", "", "output file (default stdout)")
-		baseline = flag.String("baseline", "", "baseline JSON to compute per-benchmark speedups against")
-		note     = flag.String("note", "", "freeform note stored in the file (e.g. the PR or commit)")
+		out        = flag.String("out", "", "output file (default stdout)")
+		baseline   = flag.String("baseline", "", "baseline JSON to compute per-benchmark speedups against")
+		note       = flag.String("note", "", "freeform note stored in the file (e.g. the PR or commit)")
+		compare    = flag.String("compare", "", "gate mode: diff the fresh run against this baseline JSON and exit nonzero on regression")
+		maxRegress = flag.Float64("max-regress", 0.15, "with -compare: tolerated fractional ns/op slowdown (0.15 = 15%); allocs/op tolerates none")
+		match      = flag.String("match", "", "with -compare: gate only baseline benchmarks matching this regexp (the subset the fresh run re-ran); default all")
 	)
 	flag.Parse()
 
@@ -72,6 +90,9 @@ func run() error {
 	}
 	if len(results) == 0 {
 		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	if *compare != "" {
+		return gate(results, *compare, *maxRegress, *match)
 	}
 	if *baseline != "" {
 		if err := applyBaseline(results, *baseline); err != nil {
@@ -122,15 +143,15 @@ func parse(r io.Reader) ([]Result, error) {
 			return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
 		}
 		res := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			v, err := strconv.ParseFloat(m[4], 64)
+		if bm := bytesCol.FindStringSubmatch(line); bm != nil {
+			v, err := strconv.ParseFloat(bm[1], 64)
 			if err != nil {
 				return nil, fmt.Errorf("bad B/op in %q: %w", line, err)
 			}
 			res.BytesPerOp = &v
 		}
-		if m[5] != "" {
-			v, err := strconv.ParseFloat(m[5], 64)
+		if am := allocsCol.FindStringSubmatch(line); am != nil {
+			v, err := strconv.ParseFloat(am[1], 64)
 			if err != nil {
 				return nil, fmt.Errorf("bad allocs/op in %q: %w", line, err)
 			}
@@ -139,6 +160,97 @@ func parse(r io.Reader) ([]Result, error) {
 		results = append(results, res)
 	}
 	return results, sc.Err()
+}
+
+// gate diffs the fresh results against the committed baseline and
+// fails on regression. Every gated baseline benchmark must be present
+// in the fresh run (a silently dropped benchmark is not a speedup);
+// when matchExpr is set, only baseline benchmarks matching it are
+// gated, so a subset re-run (make bench-gate's pinned pattern) is not
+// failed for trajectory entries it never attempted. Fresh-only
+// benchmarks are reported but never fail, so new benchmarks can land
+// in the same PR that later ratchets them into the baseline. ns/op
+// tolerates maxRegress (machine-dependent), allocs/op tolerates
+// nothing (machine-independent: an alloc is an alloc everywhere).
+func gate(fresh []Result, path string, maxRegress float64, matchExpr string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base File
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if matchExpr != "" {
+		re, err := regexp.Compile(matchExpr)
+		if err != nil {
+			return fmt.Errorf("bad -match regexp: %w", err)
+		}
+		gated := base.Benchmarks[:0]
+		for _, b := range base.Benchmarks {
+			if re.MatchString(b.Name) {
+				gated = append(gated, b)
+			}
+		}
+		base.Benchmarks = gated
+		if len(base.Benchmarks) == 0 {
+			return fmt.Errorf("-match %q selects no benchmarks from %s", matchExpr, path)
+		}
+	}
+	freshByName := make(map[string]Result, len(fresh))
+	for _, r := range fresh {
+		freshByName[r.Name] = r
+	}
+
+	var failures []string
+	fmt.Printf("%-60s %12s %12s %8s\n", "benchmark", "base ns/op", "ns/op", "delta")
+	for _, b := range base.Benchmarks {
+		f, ok := freshByName[b.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from the fresh run", b.Name))
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = f.NsPerOp/b.NsPerOp - 1
+		}
+		fmt.Printf("%-60s %12.1f %12.1f %+7.1f%%\n", b.Name, b.NsPerOp, f.NsPerOp, delta*100)
+		if f.NsPerOp > b.NsPerOp*(1+maxRegress) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.1f ns/op vs baseline %.1f (+%.1f%%, tolerance %.0f%%)",
+				b.Name, f.NsPerOp, b.NsPerOp, delta*100, maxRegress*100))
+		}
+		if b.AllocsPerOp != nil {
+			switch {
+			case f.AllocsPerOp == nil:
+				failures = append(failures, fmt.Sprintf(
+					"%s: baseline pins %.0f allocs/op but the fresh run reports none (ReportAllocs removed?)",
+					b.Name, *b.AllocsPerOp))
+			case *f.AllocsPerOp > *b.AllocsPerOp:
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.0f allocs/op vs baseline %.0f — the alloc ratchet only goes down",
+					b.Name, *f.AllocsPerOp, *b.AllocsPerOp))
+			}
+		}
+	}
+	baseNames := make(map[string]bool, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseNames[b.Name] = true
+	}
+	for _, f := range fresh {
+		if !baseNames[f.Name] {
+			fmt.Printf("%-60s %12s %12.1f %8s\n", f.Name, "(new)", f.NsPerOp, "-")
+		}
+	}
+	if len(failures) > 0 {
+		for _, msg := range failures {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", msg)
+		}
+		return fmt.Errorf("%d benchmark regression(s) against %s", len(failures), path)
+	}
+	fmt.Printf("bench-gate OK: %d benchmarks within %.0f%% of %s, no alloc increases\n",
+		len(base.Benchmarks), maxRegress*100, path)
+	return nil
 }
 
 // applyBaseline fills BaselineNsPerOp/Speedup from a previous file.

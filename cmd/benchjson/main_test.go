@@ -1,0 +1,161 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseVariableColumns(t *testing.T) {
+	// B/op and allocs/op must survive any mix of intermediate columns:
+	// MB/s from SetBytes and custom ReportMetric units like laps/op.
+	in := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkPlain-8           	  100	  250.0 ns/op",
+		"BenchmarkAllocs-8          	  100	  300.0 ns/op	   48 B/op	       2 allocs/op",
+		"BenchmarkThroughput-8      	  100	  400.0 ns/op	81920.00 MB/s	       0 B/op	       0 allocs/op",
+		"BenchmarkCustomMetric-8    	  100	  500.0 ns/op	14431.26 MB/s	         1.5 laps/op	     352 B/op	       3 allocs/op",
+		"PASS",
+	}, "\n")
+	results, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(results))
+	}
+	check := func(i int, name string, ns float64, allocs *float64) {
+		t.Helper()
+		r := results[i]
+		if r.Name != name || r.NsPerOp != ns {
+			t.Errorf("result %d = %q %.1f ns/op, want %q %.1f", i, r.Name, r.NsPerOp, name, ns)
+		}
+		switch {
+		case allocs == nil && r.AllocsPerOp != nil:
+			t.Errorf("%s: unexpected allocs/op %v", name, *r.AllocsPerOp)
+		case allocs != nil && (r.AllocsPerOp == nil || *r.AllocsPerOp != *allocs):
+			t.Errorf("%s: allocs/op = %v, want %v", name, r.AllocsPerOp, *allocs)
+		}
+	}
+	f := func(v float64) *float64 { return &v }
+	check(0, "BenchmarkPlain", 250, nil)
+	check(1, "BenchmarkAllocs", 300, f(2))
+	check(2, "BenchmarkThroughput", 400, f(0))
+	check(3, "BenchmarkCustomMetric", 500, f(3))
+	if results[3].BytesPerOp == nil || *results[3].BytesPerOp != 352 {
+		t.Errorf("BenchmarkCustomMetric B/op = %v, want 352", results[3].BytesPerOp)
+	}
+}
+
+func writeBaseline(t *testing.T, json string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(json), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const gateBaseline = `{
+  "benchmarks": [
+    {"name": "BenchmarkA", "iterations": 100, "ns_per_op": 100, "allocs_per_op": 2},
+    {"name": "BenchmarkB", "iterations": 100, "ns_per_op": 1000}
+  ]
+}`
+
+func TestGate(t *testing.T) {
+	path := writeBaseline(t, gateBaseline)
+	a := func(v float64) *float64 { return &v }
+
+	cases := []struct {
+		name    string
+		fresh   []Result
+		wantErr string
+	}{
+		{
+			name: "within tolerance passes",
+			fresh: []Result{
+				{Name: "BenchmarkA", NsPerOp: 110, AllocsPerOp: a(2)},
+				{Name: "BenchmarkB", NsPerOp: 900},
+			},
+		},
+		{
+			name: "alloc decrease passes",
+			fresh: []Result{
+				{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: a(0)},
+				{Name: "BenchmarkB", NsPerOp: 1000},
+			},
+		},
+		{
+			name: "new benchmark passes",
+			fresh: []Result{
+				{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: a(2)},
+				{Name: "BenchmarkB", NsPerOp: 1000},
+				{Name: "BenchmarkNew", NsPerOp: 5},
+			},
+		},
+		{
+			name: "ns regression past tolerance fails",
+			fresh: []Result{
+				{Name: "BenchmarkA", NsPerOp: 120, AllocsPerOp: a(2)},
+				{Name: "BenchmarkB", NsPerOp: 1000},
+			},
+			wantErr: "1 benchmark regression",
+		},
+		{
+			name: "any alloc increase fails",
+			fresh: []Result{
+				{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: a(3)},
+				{Name: "BenchmarkB", NsPerOp: 1000},
+			},
+			wantErr: "1 benchmark regression",
+		},
+		{
+			name: "missing benchmark fails",
+			fresh: []Result{
+				{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: a(2)},
+			},
+			wantErr: "1 benchmark regression",
+		},
+		{
+			name: "dropped ReportAllocs fails",
+			fresh: []Result{
+				{Name: "BenchmarkA", NsPerOp: 100},
+				{Name: "BenchmarkB", NsPerOp: 1000},
+			},
+			wantErr: "1 benchmark regression",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := gate(tc.fresh, path, 0.15, "")
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("gate failed: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("gate error = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestGateMatchScopesBaseline(t *testing.T) {
+	path := writeBaseline(t, gateBaseline)
+	a := func(v float64) *float64 { return &v }
+	// A subset re-run that only attempted BenchmarkA: without -match the
+	// absent BenchmarkB fails the gate; scoped to ^BenchmarkA$ it passes.
+	fresh := []Result{{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: a(2)}}
+	if err := gate(fresh, path, 0.15, ""); err == nil {
+		t.Fatal("unscoped gate ignored a missing baseline benchmark")
+	}
+	if err := gate(fresh, path, 0.15, "^BenchmarkA$"); err != nil {
+		t.Fatalf("scoped gate failed: %v", err)
+	}
+	if err := gate(fresh, path, 0.15, "^BenchmarkZ$"); err == nil {
+		t.Fatal("gate accepted a -match selecting nothing")
+	}
+}

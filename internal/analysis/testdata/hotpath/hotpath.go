@@ -5,7 +5,9 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"strconv"
+	"sync"
 )
 
 //mediavet:hotpath
@@ -92,4 +94,42 @@ func hotSuppressed(x int) string {
 
 func coldFmtOK(x int) string {
 	return fmt.Sprintf("%d", x) // negative: unannotated functions are unchecked
+}
+
+// The fixtures below pin the patterns the proxy data plane relies on:
+// sync.Pool round-trips, prerendered header-slice assignment, and
+// writes that alias pooled segment memory must all pass, while passing
+// a non-pointer value to an interface-typed parameter must not.
+
+//mediavet:hotpath
+func sinkAny(v any) any { return v }
+
+//mediavet:hotpath
+func hotIfaceArg(x int) any {
+	return sinkAny(x) // want "boxes the value on the heap"
+}
+
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 16*1024)
+	return &b
+}}
+
+//mediavet:hotpath
+func hotPoolGetOK(r io.Reader) int {
+	bp := bufPool.Get().(*[]byte) // negative: pool round-trip of a pointer
+	defer bufPool.Put(bp)
+	n, _ := r.Read(*bp)
+	return n
+}
+
+var cachedHeader = []string{"HIT-PREFIX"}
+
+//mediavet:hotpath
+func hotHeaderAssignOK(h map[string][]string) {
+	h["X-Cache"] = cachedHeader // negative: assigning a shared slice allocates nothing
+}
+
+//mediavet:hotpath
+func hotSegmentWriteOK(w io.Writer, seg *[65536]byte, n int) (int, error) {
+	return w.Write(seg[:n]) // negative: zero-copy write over aliased segment bytes
 }

@@ -1,8 +1,11 @@
 package proxy
 
 import (
+	"context"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -11,17 +14,19 @@ import (
 )
 
 // BenchmarkProxyServe measures in-process proxy throughput on the
-// warmed hot path (prefix hits) at 1 vs 8 shards. shards=1 is the
+// warmed hot path (prefix hits) across the shard axis. shards=1 is the
 // serialized baseline — every request crosses the same lock, as the
-// pre-sharding proxy did — and shards=8 is the sharded tier; on a
-// GOMAXPROCS>=8 machine the delta is the concurrency win of the PR 5
-// refactor. Requests go straight to ServeHTTP with httptest recorders,
-// so no sockets or origin round-trips pollute the measurement.
+// pre-sharding proxy did — and on a GOMAXPROCS>=8 machine the 1→8
+// curve is the concurrency win of the sharded tier. Request paths are
+// precomputed and each goroutine reuses one discarding writer (reset
+// between iterations), so the loop measures the serve path, not
+// fmt.Sprintf and recorder construction.
 func BenchmarkProxyServe(b *testing.B) {
 	const nObjects = 64
+	const objBytes = 32 * units.KB
 	metas := make([]Meta, nObjects)
 	for i := range metas {
-		metas[i] = Meta{ID: i, Size: 32 * units.KB, Rate: units.KBps(512), Value: 1}
+		metas[i] = Meta{ID: i, Size: objBytes, Rate: units.KBps(512), Value: 1}
 	}
 	catalog, err := NewCatalog(metas)
 	if err != nil {
@@ -34,7 +39,12 @@ func BenchmarkProxyServe(b *testing.B) {
 	originSrv := httptest.NewServer(origin)
 	defer originSrv.Close()
 
-	for _, shards := range []int{1, 8} {
+	reqs := make([]*http.Request, nObjects)
+	for i := range reqs {
+		reqs[i] = httptest.NewRequest("GET", fmt.Sprintf("/objects/%d", i), nil)
+	}
+
+	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			px, err := New(Config{
 				Catalog:    catalog,
@@ -48,29 +58,91 @@ func BenchmarkProxyServe(b *testing.B) {
 			}
 			// Warm every object so the measured loop is pure prefix
 			// hits (cache-client speed, no origin traffic).
-			for id := 0; id < nObjects; id++ {
-				rec := httptest.NewRecorder()
-				px.ServeHTTP(rec, httptest.NewRequest("GET", fmt.Sprintf("/objects/%d", id), nil))
-				if int64(rec.Body.Len()) != 32*units.KB {
-					b.Fatalf("warmup object %d: %d bytes", id, rec.Body.Len())
+			warm := &nullResponseWriter{h: make(http.Header)}
+			for i, req := range reqs {
+				warm.n = 0
+				px.ServeHTTP(warm, req)
+				if warm.n != objBytes {
+					b.Fatalf("warmup object %d: %d bytes", i, warm.n)
 				}
 			}
 			px.Quiesce()
 
 			var next atomic.Int64
 			b.ReportAllocs()
-			b.SetBytes(32 * units.KB)
+			b.SetBytes(objBytes)
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
+				w := &nullResponseWriter{h: make(http.Header)}
 				for pb.Next() {
 					id := int(next.Add(1)) % nObjects
-					rec := httptest.NewRecorder()
-					px.ServeHTTP(rec, httptest.NewRequest("GET", fmt.Sprintf("/objects/%d", id), nil))
-					if int64(rec.Body.Len()) != 32*units.KB {
-						b.Fatalf("object %d: short response %d", id, rec.Body.Len())
+					w.n = 0
+					px.ServeHTTP(w, reqs[id])
+					if w.n != objBytes {
+						b.Fatalf("object %d: short response %d", id, w.n)
 					}
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkRelayCoalesce measures the bounded-ring relay data plane: a
+// fetch publishes a 1 MiB remainder through the ring while N attached
+// readers drain it concurrently — the thundering-herd shape the relay
+// singleflight exists for. A reader the ring laps jumps forward to the
+// live window instead of failing (in production it would demote to
+// relayDirect); laps/op reports how often that happened.
+func BenchmarkRelayCoalesce(b *testing.B) {
+	const objBytes = 1 << 20
+	const chunk = 16 * 1024
+	data := Content(1, 0, objBytes)
+	for _, readers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
+			var laps atomic.Int64
+			b.ReportAllocs()
+			b.SetBytes(objBytes)
+			b.ResetTimer()
+			for range b.N {
+				rl := newRelay(0, 0, nil)
+				var wg sync.WaitGroup
+				for r := 0; r < readers; r++ {
+					if !rl.attach() {
+						b.Fatal("attach refused")
+					}
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						defer rl.detach()
+						bp := fetchBufPool.Get().(*[]byte)
+						defer fetchBufPool.Put(bp)
+						buf := *bp
+						var off int64
+						for {
+							n, done, err := rl.next(context.Background(), off, buf)
+							if err == errRelayLapped {
+								off = rl.tailOffset()
+								laps.Add(1)
+								continue
+							}
+							if err != nil {
+								b.Errorf("next: %v", err)
+								return
+							}
+							off += int64(n)
+							if done && n == 0 {
+								return
+							}
+						}
+					}()
+				}
+				for off := 0; off < objBytes; off += chunk {
+					rl.append(data[off : off+chunk])
+				}
+				rl.finish(nil)
+				wg.Wait()
+			}
+			b.ReportMetric(float64(laps.Load())/float64(b.N), "laps/op")
 		})
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 )
 
 // ErrBadCatalog reports an invalid catalog construction.
@@ -32,6 +33,11 @@ type Meta struct {
 	// origin. Distinct origins get independent bandwidth estimators,
 	// mirroring the per-path b_i of the paper's Figure 1.
 	Origin string
+
+	// sizeHeader is the prerendered Content-Length value, built once in
+	// NewCatalog so the serve path assigns it without formatting or
+	// allocating per request.
+	sizeHeader []string
 }
 
 // Catalog is the shared object directory: both the origin (to serve
@@ -62,6 +68,7 @@ func NewCatalog(objects []Meta) (*Catalog, error) {
 		if o.Duration == 0 {
 			o.Duration = float64(o.Size) / o.Rate
 		}
+		o.sizeHeader = []string{strconv.FormatInt(o.Size, 10)}
 		m[o.ID] = o
 	}
 	return &Catalog{objects: m}, nil

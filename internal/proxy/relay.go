@@ -2,54 +2,72 @@ package proxy
 
 import (
 	"context"
+	"errors"
 	"sync"
 )
 
-// relayBufSeed is the initial relay buffer capacity; the buffer grows
-// on demand up to the remainder size, so a cold request for a huge
-// object does not commit the whole object's memory up front.
-const relayBufSeed = 256 * 1024
+// relayRingSegments bounds the per-relay buffer: the ring holds at most
+// this many segments (16 x 64 KiB = 1 MiB), so one in-flight transfer
+// pins a fixed amount of memory no matter how large the object
+// remainder is or how slow its slowest reader.
+const relayRingSegments = 16
+
+// errRelayLapped reports that the fetch overwrote ring slots a reader
+// had not consumed yet. The reader must leave the relay and continue
+// with a private origin fetch (relayDirect) from its current offset.
+var errRelayLapped = errors.New("proxy: relay reader lapped by the ring")
 
 // relay is one in-flight origin transfer shared by every concurrent
 // request for the same object — the singleflight of the sharded proxy.
 // A thundering herd of clients asking for one cold object costs a
 // single transfer over the constrained origin path: the first request
-// starts a fetch goroutine that publishes bytes into the relay buffer
+// starts a fetch goroutine that publishes bytes into the relay ring
 // (and the shard's PrefixStore, up to the retention target), and every
-// attached client streams from the buffer at its own pace.
+// attached client streams from the ring at its own pace.
 //
-// The buffer is append-only: a published byte range is never mutated,
-// so slices handed out by next stay valid even if a later append grows
-// the buffer (growth copies forward and abandons the old array, it
-// never writes into it). The buffer lives until the last attached
-// client finishes; memory is therefore bounded by the remainder size
-// times the number of distinct objects with in-flight fetches.
+// Unlike the store's append-only chains, the ring is bounded: when it
+// is full the fetch reclaims the oldest segment, advancing tail. A
+// reader whose offset falls behind tail is told so (errRelayLapped)
+// and demotes itself to a private origin fetch — one slow client can
+// no longer pin an entire object remainder in memory. Because slots
+// are overwritten in place, readers copy bytes out under the relay
+// lock; nothing aliases ring memory, so segments are recycled to
+// segPool when the last client detaches.
 //
 // Attached clients are refcounted: when the last one detaches before
 // the transfer completes, the fetch is canceled so the constrained
 // origin path is not spent on bytes nobody will receive.
 type relay struct {
-	start  int64              // object offset of buf[0]
+	start  int64              // object offset the transfer begins at
 	cancel context.CancelFunc // aborts the origin fetch; set at construction
 
-	mu       sync.Mutex
-	cond     sync.Cond
-	buf      []byte
-	retain   int64 // PrefixStore retention limit (max over attached requests)
-	subs     int   // attached clients (leader included)
-	canceled bool  // last client left; fetch abort initiated
-	done     bool
-	err      error
+	mu   sync.Mutex
+	cond sync.Cond
+	// ring slots are lazily filled from segPool; slot for absolute
+	// object offset off is ((off-start)/segmentSize) % relayRingSegments.
+	ring [relayRingSegments]*segment
+	// head is the absolute object offset one past the last published
+	// byte; tail is the oldest offset still held. The fetch advances
+	// tail by whole segments when the ring is full, keeping
+	// head-tail <= relayRingSegments*segmentSize.
+	head, tail int64
+	retain     int64 // PrefixStore retention limit (max over attached requests)
+	subs       int   // attached clients (leader included)
+	canceled   bool  // last client left; fetch abort initiated
+	released   bool  // ring segments returned to the pool; relay is dead
+	done       bool
+	err        error
 }
 
-// newRelay builds a relay for object bytes [start, start+capacity)
-// whose fetch can be aborted via cancel.
-func newRelay(start, retain, capacity int64, cancel context.CancelFunc) *relay {
+// newRelay builds a relay for object bytes starting at start whose
+// fetch can be aborted via cancel.
+func newRelay(start, retain int64, cancel context.CancelFunc) *relay {
 	r := &relay{
 		start:  start,
 		retain: retain,
 		cancel: cancel,
-		buf:    make([]byte, 0, min(capacity, relayBufSeed)),
+		head:   start,
+		tail:   start,
 	}
 	r.cond.L = &r.mu
 	return r
@@ -58,11 +76,12 @@ func newRelay(start, retain, capacity int64, cancel context.CancelFunc) *relay {
 // attach registers one client reader. It fails only when the relay's
 // fetch has already been canceled (every previous reader left), in
 // which case the caller must fetch on its own.
+//
 //mediavet:hotpath
 func (r *relay) attach() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.canceled {
+	if r.canceled || r.released {
 		return false
 	}
 	r.subs++
@@ -70,15 +89,30 @@ func (r *relay) attach() bool {
 }
 
 // detach unregisters one client reader; the last one out aborts an
-// unfinished fetch.
+// unfinished fetch and recycles the ring.
+//
 //mediavet:hotpath
 func (r *relay) detach() {
 	r.mu.Lock()
 	abort := false
 	r.subs--
-	if r.subs == 0 && !r.done && !r.canceled {
-		r.canceled = true
-		abort = true
+	if r.subs == 0 {
+		if !r.done && !r.canceled {
+			r.canceled = true
+			abort = true
+		}
+		// Recycle the ring to segPool. No reader remains, and ring
+		// bytes are only ever read under r.mu (next copies out), so
+		// nothing can alias a recycled segment.
+		if !r.released {
+			r.released = true
+			for i, seg := range r.ring {
+				if seg != nil {
+					segPool.Put(seg)
+					r.ring[i] = nil
+				}
+			}
+		}
 	}
 	fn := r.cancel
 	r.mu.Unlock()
@@ -90,6 +124,7 @@ func (r *relay) detach() {
 // raiseRetain lifts the store-retention limit to at least n; attaching
 // requests call it so a prefix target that grew mid-flight is still
 // materialized by the shared fetch.
+//
 //mediavet:hotpath
 func (r *relay) raiseRetain(n int64) {
 	r.mu.Lock()
@@ -100,6 +135,7 @@ func (r *relay) raiseRetain(n int64) {
 }
 
 // retainLimit returns the current store-retention limit.
+//
 //mediavet:hotpath
 func (r *relay) retainLimit() int64 {
 	r.mu.Lock()
@@ -107,14 +143,41 @@ func (r *relay) retainLimit() int64 {
 	return r.retain
 }
 
-// append publishes p to every attached reader. The fetch goroutine is
-// the only appender.
+// append publishes p to every attached reader, reclaiming the oldest
+// ring segments when full. The fetch goroutine is the only appender.
+//
 //mediavet:hotpath
 func (r *relay) append(p []byte) {
 	r.mu.Lock()
-	r.buf = append(r.buf, p...)
+	defer r.mu.Unlock()
+	if r.released {
+		return // every reader left; the abort is racing the last read
+	}
+	for len(p) > 0 {
+		if r.head-r.tail == relayRingSegments*segmentSize {
+			// Ring full: sacrifice the oldest segment. Any reader still
+			// below the new tail will learn it was lapped on its next
+			// call and demote itself.
+			r.tail += segmentSize
+		}
+		rel := r.head - r.start
+		slot := (rel / segmentSize) % relayRingSegments
+		within := rel % segmentSize
+		seg := r.ring[slot]
+		if within == 0 || seg == nil {
+			if seg == nil {
+				seg = newSegment(0)
+				r.ring[slot] = seg
+			}
+			seg.off = r.head
+			seg.used = 0
+		}
+		n := copy(seg.buf[within:], p)
+		seg.used = int(within) + n
+		r.head += int64(n)
+		p = p[n:]
+	}
 	r.cond.Broadcast()
-	r.mu.Unlock()
 }
 
 // finish marks the transfer complete (err non-nil when it died early)
@@ -136,24 +199,61 @@ func (r *relay) wake() {
 }
 
 // next blocks until bytes past object offset off are published, the
-// transfer ends, or ctx (the reader's own request context) is
-// canceled, then returns the contiguous published range starting at
-// off. The returned slice aliases an immutable buffer region and stays
-// valid after the lock is released. done reports that the reader
-// should stop after consuming the returned chunk.
+// transfer ends, or ctx (the reader's own request context) is canceled,
+// then copies published bytes starting at off into dst. Ring slots are
+// overwritten in place, so the copy happens under the lock — dst never
+// aliases ring memory. done reports that the reader should stop after
+// consuming the returned bytes; err is errRelayLapped when the fetch
+// reclaimed offset off before this reader consumed it (the reader must
+// demote to a private fetch).
+//
 //mediavet:hotpath
-func (r *relay) next(ctx context.Context, off int64) (chunk []byte, done bool, err error) {
+func (r *relay) next(ctx context.Context, off int64, dst []byte) (n int, done bool, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	rel := off - r.start
-	for int64(len(r.buf)) <= rel && !r.done && ctx.Err() == nil {
+	for r.head <= off && !r.done && ctx.Err() == nil {
 		r.cond.Wait()
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, true, err
+		return 0, true, err
 	}
-	if int64(len(r.buf)) > rel {
-		chunk = r.buf[rel:len(r.buf):len(r.buf)]
+	if off < r.tail {
+		return 0, true, errRelayLapped
 	}
-	return chunk, r.done, r.err
+	for n < len(dst) && off < r.head {
+		rel := off - r.start
+		slot := (rel / segmentSize) % relayRingSegments
+		within := rel % segmentSize
+		seg := r.ring[slot]
+		avail := int64(seg.used) - within
+		if rest := r.head - off; avail > rest {
+			avail = rest
+		}
+		if avail <= 0 {
+			break
+		}
+		c := copy(dst[n:], seg.buf[within:within+avail])
+		n += c
+		off += int64(c)
+	}
+	if n > 0 {
+		return n, false, nil
+	}
+	return 0, r.done, r.err
+}
+
+// buffered returns the byte span currently held by the ring (a test
+// hook pinning the memory bound).
+func (r *relay) buffered() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.head - r.tail
+}
+
+// tailOffset returns the oldest object offset still readable (a test
+// hook).
+func (r *relay) tailOffset() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tail
 }

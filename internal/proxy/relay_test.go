@@ -1,0 +1,305 @@
+package proxy
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"hash"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streamcache/internal/core"
+	"streamcache/internal/units"
+)
+
+// TestRelayRingBoundsMemory pins the tentpole's memory bound: no matter
+// how large the transfer, the relay never holds more than the ring
+// capacity, a reader left behind the window is told it was lapped, and
+// a reader inside the window still gets exact bytes.
+func TestRelayRingBoundsMemory(t *testing.T) {
+	const ringBytes = relayRingSegments * segmentSize
+	rl := newRelay(0, 0, nil)
+	if !rl.attach() {
+		t.Fatal("fresh relay refused attach")
+	}
+	defer rl.detach()
+
+	const total = 4 << 20 // 4x the ring capacity
+	data := Content(1, 0, total)
+	const chunk = 32 * 1024
+	for off := 0; off < total; off += chunk {
+		rl.append(data[off : off+chunk])
+		if got := rl.buffered(); got > ringBytes {
+			t.Fatalf("relay holds %d bytes after %d appended, bound is %d", got, off+chunk, ringBytes)
+		}
+	}
+	rl.finish(nil)
+	if got := rl.buffered(); got != ringBytes {
+		t.Fatalf("relay holds %d bytes at end, want a full ring %d", got, ringBytes)
+	}
+
+	// A reader that never consumed anything is now behind the window.
+	buf := make([]byte, 8192)
+	n, done, err := rl.next(context.Background(), 0, buf)
+	if err != errRelayLapped || !done || n != 0 {
+		t.Fatalf("lapped reader got (n=%d, done=%v, err=%v), want (0, true, errRelayLapped)", n, done, err)
+	}
+
+	// A reader inside the window reads the exact published bytes.
+	off := rl.tailOffset()
+	if off != total-ringBytes {
+		t.Fatalf("tail = %d, want %d", off, total-ringBytes)
+	}
+	for off < total {
+		n, _, err := rl.next(context.Background(), off, buf)
+		if err != nil {
+			t.Fatalf("in-window read at %d: %v", off, err)
+		}
+		if n == 0 {
+			break
+		}
+		if !bytes.Equal(buf[:n], data[off:off+int64(n)]) {
+			t.Fatalf("in-window read at %d returned wrong bytes", off)
+		}
+		off += int64(n)
+	}
+	if off != total {
+		t.Fatalf("in-window reader stopped at %d, want %d", off, total)
+	}
+}
+
+// TestRelayLockstepDeliversExactBytes runs a paced appender against a
+// concurrent reader that never falls a full ring behind, and demands
+// the reader observe the byte stream exactly — slot reuse and wrap
+// arithmetic included (the transfer spans the ring many times over).
+func TestRelayLockstepDeliversExactBytes(t *testing.T) {
+	const start = 100 // nonzero start exercises the offset mapping
+	const total = 3 << 20
+	want := Content(2, start, total)
+
+	rl := newRelay(start, 0, nil)
+	if !rl.attach() {
+		t.Fatal("attach refused")
+	}
+	defer rl.detach()
+
+	var consumed atomic.Int64
+	consumed.Store(start)
+	go func() {
+		const chunk = 7000 // deliberately unaligned with segmentSize
+		for off := 0; off < total; {
+			// Stay at most half a ring ahead of the reader so it is
+			// never lapped.
+			if int64(start+off)-consumed.Load() > relayRingSegments*segmentSize/2 {
+				time.Sleep(100 * time.Microsecond)
+				continue
+			}
+			n := min(chunk, total-off)
+			rl.append(want[off : off+n])
+			off += n
+		}
+		rl.finish(nil)
+	}()
+
+	var got bytes.Buffer
+	buf := make([]byte, 4096)
+	off := int64(start)
+	for {
+		n, done, err := rl.next(context.Background(), off, buf)
+		if err != nil {
+			t.Fatalf("next at %d: %v", off, err)
+		}
+		if n > 0 {
+			got.Write(buf[:n])
+			off += int64(n)
+			consumed.Store(off)
+		}
+		if done && n == 0 {
+			break
+		}
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("reader saw %d bytes, diverged from the %d appended", got.Len(), total)
+	}
+}
+
+// stallFirstOrigin wraps an Origin, counts requests so tests can assert
+// how many origin transfers a scenario cost, and stalls the FIRST
+// response after stallAfter bytes until gate is closed. Holding the
+// first transfer inside the ring window until the client is provably
+// parked is what makes the lap test deterministic: without it, kernel
+// socket buffers let the origin burst ahead and on GOMAXPROCS=1 the
+// fetch goroutine can lap a client that has not yet been scheduled.
+type stallFirstOrigin struct {
+	inner      http.Handler
+	requests   atomic.Int64
+	stallAfter int64
+	gate       chan struct{}
+}
+
+func (o *stallFirstOrigin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if o.requests.Add(1) == 1 {
+		w = &gatedResponseWriter{inner: w, stallAfter: o.stallAfter, gate: o.gate}
+	}
+	o.inner.ServeHTTP(w, r)
+}
+
+// gatedResponseWriter passes writes through until stallAfter bytes,
+// then blocks each write until gate is closed.
+type gatedResponseWriter struct {
+	inner      http.ResponseWriter
+	n          int64
+	stallAfter int64
+	gate       chan struct{}
+}
+
+func (w *gatedResponseWriter) Header() http.Header { return w.inner.Header() }
+func (w *gatedResponseWriter) WriteHeader(c int)   { w.inner.WriteHeader(c) }
+func (w *gatedResponseWriter) Write(p []byte) (int, error) {
+	if w.n >= w.stallAfter {
+		<-w.gate
+	}
+	w.n += int64(len(p))
+	return w.inner.Write(p)
+}
+
+// gatedDigestWriter is an http.ResponseWriter that digests everything
+// written to it but blocks after stallAfter bytes until gate is closed,
+// closing parked (if set) just before the first block so the test knows
+// the client is committed. Driving ServeHTTP with it makes a lap
+// deterministic: no kernel socket buffer absorbs bytes behind the
+// test's back.
+type gatedDigestWriter struct {
+	h          http.Header
+	sum        hash.Hash
+	n          int64
+	stallAfter int64
+	gate       chan struct{}
+	parked     chan struct{}
+}
+
+func (w *gatedDigestWriter) Header() http.Header { return w.h }
+func (w *gatedDigestWriter) WriteHeader(int)     {}
+func (w *gatedDigestWriter) Write(p []byte) (int, error) {
+	if w.n >= w.stallAfter {
+		if w.parked != nil {
+			close(w.parked)
+			w.parked = nil
+		}
+		<-w.gate
+	}
+	w.sum.Write(p)
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// TestSlowReaderDemotedStillCorrect is the end-to-end bound: a client
+// that stalls while the origin fetch races ahead gets lapped by the
+// ring, is demoted to a private origin fetch, and still receives the
+// complete, byte-correct object. The demotion costs exactly one extra
+// origin request; the ring bound itself is pinned by
+// TestRelayRingBoundsMemory.
+func TestSlowReaderDemotedStillCorrect(t *testing.T) {
+	const size = 4 * units.MB // 4x the ring capacity
+	catalog, err := NewCatalog([]Meta{{ID: 1, Size: size, Rate: units.KBps(512), Value: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin, err := NewOrigin(catalog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shared fetch is held after 256 KB — well inside the 1 MiB ring
+	// — until the client is provably parked, so the client can never be
+	// lapped before its first read no matter how goroutines schedule.
+	counting := &stallFirstOrigin{
+		inner:      origin,
+		stallAfter: 256 * units.KB,
+		gate:       make(chan struct{}),
+	}
+	releaseOrigin := sync.OnceFunc(func() { close(counting.gate) })
+	defer releaseOrigin()
+	originSrv := httptest.NewServer(counting)
+	defer originSrv.Close()
+
+	// A tiny cache keeps the stored prefix negligible: essentially the
+	// whole object flows through the relay.
+	px, err := New(Config{
+		Catalog:    catalog,
+		OriginURL:  originSrv.URL,
+		CacheBytes: 64 * units.KB,
+		NewPolicy:  core.NewIB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// stallAfter 0: the client parks on its very first body write and
+	// signals parked, so there is no window in which it must keep pace
+	// with the fetcher. Both releases are deferred so a failing
+	// assertion below can never strand the serve goroutine (and the
+	// origin server's Close) behind an unopened gate.
+	parked := make(chan struct{})
+	w := &gatedDigestWriter{
+		h:          make(http.Header),
+		sum:        sha256.New(),
+		stallAfter: 0,
+		gate:       make(chan struct{}),
+		parked:     parked,
+	}
+	releaseGate := sync.OnceFunc(func() { close(w.gate) })
+	defer releaseGate()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		px.ServeHTTP(w, httptest.NewRequest("GET", "/objects/1", nil))
+	}()
+
+	// Handshake: wait until the client has copied its first chunk out of
+	// the ring and parked, THEN let the origin stream the rest.
+	select {
+	case <-parked:
+	case <-time.After(30 * time.Second):
+		t.Fatal("client never parked on its first write")
+	}
+	releaseOrigin()
+
+	// The parked client stays attached, so the shared fetch runs to
+	// completion regardless — wait for it, by which time the ring has
+	// wrapped far past the client's near-zero offset.
+	deadline := time.Now().Add(30 * time.Second)
+	for px.Snapshot().BytesFetched < size {
+		if time.Now().After(deadline) {
+			t.Fatalf("origin fetch did not complete; bytesFetched=%d", px.Snapshot().BytesFetched)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Release the client: its next relay read discovers the lap and the
+	// stream must continue seamlessly through relayDirect.
+	releaseGate()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("request did not finish after demotion")
+	}
+
+	if w.n != size {
+		t.Fatalf("client received %d bytes, want %d", w.n, size)
+	}
+	if got, want := hex.EncodeToString(w.sum.Sum(nil)), ContentSHA256(1, size); got != want {
+		t.Fatalf("content digest mismatch after demotion:\n got %s\nwant %s", got, want)
+	}
+	px.Quiesce()
+	// The shared fetch plus the demoted reader's private refetch. (If the
+	// reader was never lapped this would be 1 and the test proved
+	// nothing, so pin exactly 2.)
+	if got := counting.requests.Load(); got != 2 {
+		t.Fatalf("origin saw %d requests, want 2 (shared fetch + demotion refetch)", got)
+	}
+}

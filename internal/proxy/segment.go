@@ -1,0 +1,54 @@
+package proxy
+
+import "sync"
+
+// segmentSize is the fixed byte granularity of the proxy data plane.
+// Both the PrefixStore and the relay ring are built from segments of
+// this size, so the two sides of the data plane share one allocation
+// currency (and one pool).
+const segmentSize = 64 * 1024
+
+// segment is one fixed-size chunk of object bytes.
+//
+// Aliasing contract (DESIGN.md "Segment memory model"): a byte of a
+// segment, once published to a reader, is immutable — writers only ever
+// extend `used` under their owner's lock, never rewrite below it. The
+// PrefixStore hands out zero-copy views over its segments, so store
+// segments are never recycled: truncation drops references and leaves
+// reclamation to the GC. The relay ring is the opposite regime — its
+// readers copy out under the relay lock, nothing aliases ring memory
+// outside it, so ring segments are recycled in place and returned to
+// segPool at relay teardown.
+type segment struct {
+	off  int64 // object offset of buf[0]; immutable after creation
+	used int   // bytes written into buf; grows monotonically
+	buf  [segmentSize]byte
+}
+
+// segPool recycles segments across relays (and seeds fresh store
+// segments). Only the relay ring may Put: store segments can be aliased
+// by in-flight zero-copy readers and must die to the GC instead.
+var segPool = sync.Pool{New: func() any { return new(segment) }}
+
+// newSegment takes a segment from the pool, reset to start at object
+// offset off.
+//
+//mediavet:hotpath
+func newSegment(off int64) *segment {
+	s := segPool.Get().(*segment)
+	s.off = off
+	s.used = 0
+	return s
+}
+
+// fetchBufSize is the copy granularity of origin fetches and relay
+// reader drains.
+const fetchBufSize = 16 * 1024
+
+// fetchBufPool recycles the 16 KB scratch buffers used by fetchOrigin,
+// relayDirect and streamFromRelay, so streaming a request allocates no
+// per-request buffer on the warmed path.
+var fetchBufPool = sync.Pool{New: func() any {
+	b := make([]byte, fetchBufSize)
+	return &b
+}}

@@ -1,40 +1,157 @@
 package proxy
 
-import "sync"
+import (
+	"bytes"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+)
 
 // PrefixStore holds the actual bytes of cached object prefixes. The
 // core.Cache accounts for space and decides placement; the store
 // materializes the data. It is safe for concurrent use.
+//
+// Storage is a chain of fixed-size segments per object rather than one
+// growing []byte: appends fill the tail segment and open new ones,
+// truncation drops whole segments plus a logical tail limit, and reads
+// are zero-copy — a prefixView captured under the lock aliases the
+// segment chain and stays valid after the lock is released, because
+// published segment bytes are immutable (see segment).
 type PrefixStore struct {
 	mu   sync.RWMutex
-	data map[int][]byte
+	data map[int]*prefixEntry
+	// total is the running sum of all entry lengths, so TotalBytes is
+	// O(1) instead of an O(objects) scan under the lock per /stats.
+	total int64
+}
+
+// prefixEntry is one object's segment chain. Invariants (under the
+// store lock):
+//
+//   - Segments are contiguous in object-offset order, and segs[i+1].off
+//     is exactly the count of valid bytes ever published through
+//     segs[i] — so a lock-free reader derives every non-tail segment's
+//     valid range from the (immutable) next segment's off.
+//   - length is the logical prefix length. After a mid-segment
+//     truncation the tail segment still holds stale bytes beyond
+//     length; they are sealed, never overwritten — the next append
+//     opens a fresh segment at offset length instead. That is what
+//     keeps views captured before the truncation byte-stable.
+type prefixEntry struct {
+	segs   []*segment
+	length int64
+	// hdr is the prebuilt X-Cache response header value for the current
+	// length, rebuilt on append/truncate (the cold paths) so the warmed
+	// prefix-hit serve path assigns it without allocating.
+	hdr []string
+}
+
+func (e *prefixEntry) tail() *segment {
+	if len(e.segs) == 0 {
+		return nil
+	}
+	return e.segs[len(e.segs)-1]
+}
+
+// rebuildHeader re-renders the cached X-Cache value after the prefix
+// length changed.
+func (e *prefixEntry) rebuildHeader() {
+	e.hdr = []string{"HIT-PREFIX; bytes=" + strconv.FormatInt(e.length, 10)}
 }
 
 // NewPrefixStore returns an empty store.
 func NewPrefixStore() *PrefixStore {
-	return &PrefixStore{data: make(map[int][]byte)}
+	return &PrefixStore{data: make(map[int]*prefixEntry)}
+}
+
+// prefixView is a consistent point-in-time snapshot of an object's
+// prefix: at most n bytes, readable without the store lock. The view
+// aliases immutable segment memory, so it remains byte-stable even if
+// the store concurrently truncates or extends the object.
+type prefixView struct {
+	segs []*segment
+	n    int64
+	// hdr is the store's prebuilt X-Cache value when the view covers
+	// the full stored prefix; nil when the caller's clamp cut it short
+	// (the caller renders its own header then).
+	hdr []string
+}
+
+// Len returns the byte length of the view.
+//
+//mediavet:hotpath
+func (v prefixView) Len() int64 { return v.n }
+
+// WriteTo streams the snapshot to w without copying: each write aliases
+// a segment's published bytes directly.
+//
+//mediavet:hotpath
+func (v prefixView) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	for i, seg := range v.segs {
+		if seg.off >= v.n {
+			break
+		}
+		end := v.n
+		if i+1 < len(v.segs) && v.segs[i+1].off < end {
+			end = v.segs[i+1].off
+		}
+		n, err := w.Write(seg.buf[:end-seg.off])
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// View captures a zero-copy snapshot of object id's prefix, clamped to
+// max bytes. The empty view has Len() 0.
+//
+//mediavet:hotpath
+func (s *PrefixStore) View(id int, max int64) prefixView {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e := s.data[id]
+	if e == nil || e.length == 0 || max <= 0 {
+		return prefixView{}
+	}
+	v := prefixView{segs: e.segs, n: e.length}
+	if v.n > max {
+		v.n = max
+	} else {
+		v.hdr = e.hdr
+	}
+	return v
 }
 
 // Prefix returns a copy of object id's cached prefix (nil when absent).
-//mediavet:hotpath
+// It is a test and tooling hook; the serve path uses View for zero-copy
+// access.
 func (s *PrefixStore) Prefix(id int) []byte {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p := s.data[id]
-	if len(p) == 0 {
+	v := s.View(id, math.MaxInt64)
+	if v.n == 0 {
 		return nil
 	}
-	out := make([]byte, len(p))
-	copy(out, p)
-	return out
+	var buf bytes.Buffer
+	buf.Grow(int(v.n))
+	if _, err := v.WriteTo(&buf); err != nil {
+		return nil // bytes.Buffer does not fail; keep the linter honest
+	}
+	return buf.Bytes()
 }
 
 // Len returns the stored prefix length of object id.
+//
 //mediavet:hotpath
 func (s *PrefixStore) Len(id int) int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return int64(len(s.data[id]))
+	if e := s.data[id]; e != nil {
+		return e.length
+	}
+	return 0
 }
 
 // AppendAt extends object id's prefix with data that belongs at the
@@ -46,8 +163,11 @@ func (s *PrefixStore) Len(id int) int64 {
 func (s *PrefixStore) AppendAt(id int, offset int64, data []byte, limit int64) int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cur := s.data[id]
-	curLen := int64(len(cur))
+	e := s.data[id]
+	var curLen int64
+	if e != nil {
+		curLen = e.length
+	}
 	if offset > curLen {
 		return 0 // non-contiguous: would leave a hole
 	}
@@ -64,36 +184,82 @@ func (s *PrefixStore) AppendAt(id int, offset int64, data []byte, limit int64) i
 	if take > room {
 		take = room
 	}
-	s.data[id] = append(cur, data[:take]...)
+	if e == nil {
+		e = &prefixEntry{}
+		s.data[id] = e
+	}
+	for rem := data[:take]; len(rem) > 0; {
+		seg := e.tail()
+		if seg == nil || seg.used == segmentSize || seg.off+int64(seg.used) != e.length {
+			// No tail, tail full, or tail sealed by a mid-segment
+			// truncation: open a fresh segment at the logical end.
+			seg = newSegment(e.length)
+			e.segs = append(e.segs, seg)
+		}
+		n := copy(seg.buf[seg.used:], rem)
+		seg.used += n
+		e.length += int64(n)
+		rem = rem[n:]
+	}
+	s.total += take
+	e.rebuildHeader()
 	return take
 }
 
 // Truncate shrinks object id's prefix to at most n bytes, deleting it
-// entirely at zero.
+// entirely at zero. Dropped segments are left to the GC — an in-flight
+// zero-copy view may still alias them.
+//
 //mediavet:hotpath
 func (s *PrefixStore) Truncate(id int, n int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cur, ok := s.data[id]
-	if !ok {
+	e := s.data[id]
+	if e == nil {
 		return
 	}
 	if n <= 0 {
+		s.total -= e.length
 		delete(s.data, id)
 		return
 	}
-	if int64(len(cur)) > n {
-		s.data[id] = cur[:n:n]
+	if n >= e.length {
+		return
 	}
+	s.total -= e.length - n
+	e.length = n
+	// Drop whole segments past the cut. The full-slice clip forces the
+	// next append onto a fresh backing array, so slice headers captured
+	// by in-flight views never observe a recycled slot.
+	k := len(e.segs)
+	for k > 0 && e.segs[k-1].off >= n {
+		k--
+	}
+	if k < len(e.segs) {
+		e.segs = e.segs[:k:k]
+	}
+	//mediavet:ignore hotpath header re-render runs only when bytes were actually dropped (the eviction path), never on the steady hit path
+	e.rebuildHeader()
 }
 
-// TotalBytes returns the sum of all stored prefix lengths.
+// TotalBytes returns the sum of all stored prefix lengths, maintained
+// incrementally on append and truncate.
+//
+//mediavet:hotpath
 func (s *PrefixStore) TotalBytes() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.total
+}
+
+// scanTotalBytes recomputes the total by walking every entry — the
+// O(objects) reference the running counter is tested against.
+func (s *PrefixStore) scanTotalBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var total int64
-	for _, p := range s.data {
-		total += int64(len(p))
+	for _, e := range s.data {
+		total += e.length
 	}
 	return total
 }
