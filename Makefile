@@ -14,7 +14,7 @@ BENCHTIME ?= 2s
 BENCH_JSON ?= BENCH.json
 BENCH_BASELINE ?=
 
-.PHONY: all ci vet lint lint-check build test race bench bench-smoke bench-json bench-gate fuzz-smoke figures docs-check shard-check proxy-check load-check clean
+.PHONY: all ci vet lint lint-check build test race bench bench-smoke bench-json bench-gate fuzz-smoke figures docs-check shard-check proxy-check load-check cluster-check clean
 
 all: ci
 
@@ -128,6 +128,13 @@ proxy-check:
 ## (OPERATIONS.md §9).
 load-check:
 	bash scripts/load-check.sh
+
+## cluster-check: multi-node smoke — the deterministic in-process
+## 3-edge + parent cluster test, then a live 3-proxyd ring driven
+## round-robin by loadgen with verified digests, a nonzero peer byte
+## fraction, and clean SIGTERM drains on every node (OPERATIONS.md §10).
+cluster-check:
+	bash scripts/cluster-check.sh
 
 clean:
 	rm -rf results shard-check

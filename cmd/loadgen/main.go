@@ -22,6 +22,12 @@
 //
 // Catalog flags (-objects, -mean-kb, -rate-kbps, -catalog-seed) must
 // match the running proxyd so object sizes and playback rates agree.
+//
+// Against a cluster, -proxy takes a comma-separated list of edge base
+// URLs in ring order; closed-loop request i goes to edge i%N — the
+// same assignment the simulator's hierarchy runs use — and the summary
+// gains the per-tier byte-fraction columns of the hierarchy experiment
+// (edge/peer/parent/origin), summed across every listed node's /stats.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,7 +60,9 @@ func main() {
 }
 
 type options struct {
-	proxyURL    string
+	proxyURL  string
+	proxyURLs []string // proxyURL split on commas: the edge nodes in ring order
+
 	mode        string
 	clients     int
 	requests    int
@@ -86,7 +95,7 @@ type options struct {
 
 func run() error {
 	var o options
-	flag.StringVar(&o.proxyURL, "proxy", "http://127.0.0.1:8081", "proxy base URL")
+	flag.StringVar(&o.proxyURL, "proxy", "http://127.0.0.1:8081", "proxy base URL, or a comma-separated edge list in ring order (request i goes to edge i%N)")
 	flag.IntVar(&o.clients, "clients", 4, "concurrent closed-loop clients")
 	flag.IntVar(&o.requests, "requests", 200, "closed: total requests to issue; open: cap on scheduled arrivals per level (only when set explicitly)")
 	flag.IntVar(&o.objects, "objects", 50, "catalog size (must match proxyd)")
@@ -114,8 +123,19 @@ func run() error {
 	flag.StringVar(&o.perClass, "per-class", "", "open: optional per-class breakdown table destination")
 	flag.BoolVar(&o.dryRun, "dry-run", false, "open: build and emit the schedule without issuing requests")
 	flag.Parse()
+	for _, u := range strings.Split(o.proxyURL, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			o.proxyURLs = append(o.proxyURLs, u)
+		}
+	}
+	if len(o.proxyURLs) == 0 {
+		return errors.New("-proxy lists no URLs")
+	}
 	switch o.mode {
 	case "open":
+		if len(o.proxyURLs) > 1 {
+			return errors.New("open mode drives a single proxy; pass one -proxy URL")
+		}
 		// The closed-loop -requests default must not silently truncate an
 		// open-loop schedule; the cap applies only when the flag was given.
 		requestsSet := false
@@ -162,16 +182,19 @@ func drive(o options) error {
 	if err != nil {
 		return err
 	}
-	if err := waitReachable(o.proxyURL, o.wait); err != nil {
-		return err
+	for _, u := range o.proxyURLs {
+		if err := waitReachable(u, o.wait); err != nil {
+			return err
+		}
 	}
-	before, err := fetchStats(o.proxyURL)
+	before, err := fetchStatsAll(o.proxyURLs)
 	if err != nil {
 		return fmt.Errorf("stats before run: %w", err)
 	}
 
 	// Closed loop: each client pulls the next trace index the moment its
-	// previous download finishes.
+	// previous download finishes. Request i lands on edge i%N, matching
+	// the simulator's hierarchy assignment.
 	results := make([]result, o.requests)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -185,14 +208,15 @@ func drive(o options) error {
 				if i >= o.requests {
 					return
 				}
-				results[i] = fetchOne(o, catalog, trace.Requests[i].ObjectID)
+				url := o.proxyURLs[i%len(o.proxyURLs)]
+				results[i] = fetchOne(o, catalog, url, trace.Requests[i].ObjectID)
 			}
 		}()
 	}
 	wg.Wait()
 	wall := time.Since(wallStart)
 
-	after, err := fetchStats(o.proxyURL)
+	after, err := fetchStatsAll(o.proxyURLs)
 	if err != nil {
 		return fmt.Errorf("stats after run: %w", err)
 	}
@@ -215,12 +239,12 @@ func drive(o options) error {
 	return nil
 }
 
-func fetchOne(o options, catalog *proxy.Catalog, id int) result {
+func fetchOne(o options, catalog *proxy.Catalog, proxyURL string, id int) result {
 	meta, ok := catalog.Get(id)
 	if !ok {
 		return result{objectID: id, err: fmt.Errorf("object %d not in catalog", id)}
 	}
-	res, err := proxy.Fetch(fmt.Sprintf("%s/objects/%d", o.proxyURL, id))
+	res, err := proxy.Fetch(fmt.Sprintf("%s/objects/%d", proxyURL, id))
 	if err != nil {
 		return result{objectID: id, err: err}
 	}
@@ -257,9 +281,22 @@ type summary struct {
 	delayP99       time.Duration
 	meanKBps       float64
 	wall           time.Duration
+
+	// Per-tier first-hop byte fractions across all queried nodes, the
+	// cmd-side counterpart of experiments.TierColumns: each delivered
+	// byte is attributed to where the client's edge got it — its own
+	// cache, a peer's cache, the parent tier, or the origin path.
+	// Without peering the four fractions are exact; with peering a byte
+	// served out of a peer's cache also counts as that peer's own cache
+	// hit, so the edge share reads slightly high relative to the
+	// simulator's exact decomposition.
+	edgeFrac   float64
+	peerFrac   float64
+	parentFrac float64
+	originFrac float64
 }
 
-func summarize(results []result, before, after proxy.Stats, wall time.Duration) summary {
+func summarize(results []result, before, after []proxy.Stats, wall time.Duration) summary {
 	var (
 		s          = summary{wall: wall}
 		delays     []time.Duration
@@ -300,8 +337,30 @@ func summarize(results []result, before, after proxy.Stats, wall time.Duration) 
 	s.delayP50 = percentile(delays, 0.50)
 	s.delayP90 = percentile(delays, 0.90)
 	s.delayP99 = percentile(delays, 0.99)
-	s.originBytes = after.BytesFetched - before.BytesFetched
-	s.coalesced = after.CoalescedRequests - before.CoalescedRequests
+
+	tiers := map[string]int64{}
+	var edgeB int64
+	for i := range after {
+		edgeB += after[i].BytesFromHit - before[i].BytesFromHit
+		s.coalesced += after[i].CoalescedRequests - before[i].CoalescedRequests
+		if len(after[i].TierBytes) == 0 {
+			// A node predating tier accounting: all its upstream bytes
+			// traveled the origin path.
+			tiers["origin"] += after[i].BytesFetched - before[i].BytesFetched
+			continue
+		}
+		for tier, b := range after[i].TierBytes {
+			tiers[tier] += b - before[i].TierBytes[tier]
+		}
+	}
+	s.originBytes = tiers["origin"]
+	if tot := edgeB + tiers["peer"] + tiers["parent"] + tiers["origin"]; tot > 0 {
+		t := float64(tot)
+		s.edgeFrac = float64(edgeB) / t
+		s.peerFrac = float64(tiers["peer"]) / t
+		s.parentFrac = float64(tiers["parent"]) / t
+		s.originFrac = float64(tiers["origin"]) / t
+	}
 	return s
 }
 
@@ -365,14 +424,14 @@ func emitSummary(o options, s summary) error {
 	sink := newSink(o, w)
 	meta := experiments.TableMeta{
 		Name: "loadgen-live",
-		Note: fmt.Sprintf("closed-loop live metrics: %d clients x %d requests against %s (objects=%d zipf=%.2f)",
-			o.clients, o.requests, o.proxyURL, o.objects, o.zipfAlpha),
-		Header: []string{
+		Note: fmt.Sprintf("closed-loop live metrics: %d clients x %d requests against %d node(s) %s (objects=%d zipf=%.2f)",
+			o.clients, o.requests, len(o.proxyURLs), o.proxyURL, o.objects, o.zipfAlpha),
+		Header: append([]string{
 			"clients", "requests", "errors",
 			"prefix_hit_ratio", "bw_hit_ratio", "origin_bytes", "coalesced",
 			"delay_mean_ms", "delay_p50_ms", "delay_p90_ms", "delay_p99_ms",
 			"mean_throughput_kbps", "wall_seconds",
-		},
+		}, experiments.TierColumns...),
 	}
 	if err := sink.Begin(meta); err != nil {
 		return err
@@ -388,6 +447,10 @@ func emitSummary(o options, s summary) error {
 		ms(s.delayMean), ms(s.delayP50), ms(s.delayP90), ms(s.delayP99),
 		strconv.FormatFloat(s.meanKBps, 'f', 1, 64),
 		strconv.FormatFloat(s.wall.Seconds(), 'f', 3, 64),
+		strconv.FormatFloat(s.edgeFrac, 'f', 4, 64),
+		strconv.FormatFloat(s.peerFrac, 'f', 4, 64),
+		strconv.FormatFloat(s.parentFrac, 'f', 4, 64),
+		strconv.FormatFloat(s.originFrac, 'f', 4, 64),
 	}
 	if err := sink.Row(row); err != nil {
 		return err
@@ -447,6 +510,19 @@ func waitReachable(proxyURL string, wait time.Duration) error {
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
+}
+
+// fetchStatsAll snapshots /stats on every node, in list order.
+func fetchStatsAll(urls []string) ([]proxy.Stats, error) {
+	all := make([]proxy.Stats, len(urls))
+	for i, u := range urls {
+		s, err := fetchStats(u)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", u, err)
+		}
+		all[i] = s
+	}
+	return all, nil
 }
 
 // statsClient bounds every /stats probe so a wedged proxy cannot hang

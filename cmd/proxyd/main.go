@@ -21,9 +21,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"streamcache/internal/cluster"
 	"streamcache/internal/core"
 	"streamcache/internal/proxy"
 	"streamcache/internal/units"
@@ -50,14 +52,21 @@ func run() error {
 		originKBps = flag.Float64("origin-kbps", 256, "origin path bandwidth limit, KB/s (0 = unlimited)")
 		seed       = flag.Int64("seed", 1, "random seed for the catalog")
 		drainSec   = flag.Float64("drain-timeout", 30, "graceful-drain timeout on SIGTERM, seconds")
+
+		// Cluster flags: every node of one cluster must share the same
+		// catalog flags (-objects, -mean-kb, -rate-kbps, -seed) and the
+		// identical -peers list — object ownership is positional on the
+		// consistent-hash ring.
+		originURL = flag.String("origin-url", "", "external origin base URL (e.g. http://host:8080); skips starting the local origin")
+		peers     = flag.String("peers", "", "comma-separated edge base URLs in ring order, self included (enables consistent-hash peering)")
+		nodeIndex = flag.Int("node-index", 0, "this node's index in -peers")
+		parentURL = flag.String("parent", "", "parent-tier proxy base URL (misses go edge -> peer owner -> parent -> origin)")
+		tier      = flag.String("tier", "", "node tier label surfaced in /stats (e.g. edge, parent)")
+		peerTmo   = flag.Duration("peer-timeout", 5*time.Second, "peer/parent response-header timeout before a fetch falls back to the origin")
 	)
 	flag.Parse()
 
 	catalog, err := proxy.BuildCatalog(*objects, *meanKB, *rateKBps, *seed)
-	if err != nil {
-		return err
-	}
-	origin, err := proxy.NewOrigin(catalog, units.KBps(*originKBps))
 	if err != nil {
 		return err
 	}
@@ -66,9 +75,18 @@ func run() error {
 	if _, err := core.PolicyByName(*policyName, *e); err != nil {
 		return err
 	}
-	px, err := proxy.New(proxy.Config{
+
+	// With -origin-url the node fronts an origin another process runs
+	// (the multi-node deployment); otherwise it runs its own.
+	defaultOrigin := *originURL
+	startOrigin := defaultOrigin == ""
+	if startOrigin {
+		defaultOrigin = "http://" + *originAddr
+	}
+
+	pcfg := proxy.Config{
 		Catalog:    catalog,
-		OriginURL:  "http://" + *originAddr,
+		OriginURL:  defaultOrigin,
 		Shards:     *shards,
 		CacheBytes: *cacheMB * units.MB,
 		NewPolicy: func() core.Policy {
@@ -79,32 +97,61 @@ func run() error {
 			}
 			return p
 		},
-	})
+		Tier: *tier,
+	}
+	if *peers != "" || *parentURL != "" {
+		node := cluster.NodeConfig{
+			Self:              *nodeIndex,
+			Parent:            *parentURL,
+			Origin:            defaultOrigin,
+			PeerHeaderTimeout: *peerTmo,
+		}
+		if *peers != "" {
+			node.Peers = strings.Split(*peers, ",")
+		}
+		ups, route, err := node.Router()
+		if err != nil {
+			return err
+		}
+		pcfg.Upstreams = ups
+		pcfg.Router = route
+	}
+	px, err := proxy.New(pcfg)
 	if err != nil {
 		return err
 	}
 
-	originLn, err := net.Listen("tcp", *originAddr)
-	if err != nil {
-		return fmt.Errorf("origin listen: %w", err)
-	}
 	proxyLn, err := net.Listen("tcp", *proxyAddr)
 	if err != nil {
-		originLn.Close()
 		return fmt.Errorf("proxy listen: %w", err)
 	}
-	originSrv := &http.Server{Handler: origin, ReadHeaderTimeout: 5 * time.Second}
 	proxySrv := &http.Server{Handler: px, ReadHeaderTimeout: 5 * time.Second}
 
 	errc := make(chan error, 2)
+	var originSrv *http.Server
+	if startOrigin {
+		origin, err := proxy.NewOrigin(catalog, units.KBps(*originKBps))
+		if err != nil {
+			proxyLn.Close()
+			return err
+		}
+		originLn, err := net.Listen("tcp", *originAddr)
+		if err != nil {
+			proxyLn.Close()
+			return fmt.Errorf("origin listen: %w", err)
+		}
+		originSrv = &http.Server{Handler: origin, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			fmt.Printf("origin  listening on %s (path limit %.0f KB/s, %d objects)\n",
+				originLn.Addr(), *originKBps, catalog.Len())
+			errc <- originSrv.Serve(originLn)
+		}()
+	} else {
+		fmt.Printf("origin  external at %s\n", defaultOrigin)
+	}
 	go func() {
-		fmt.Printf("origin  listening on %s (path limit %.0f KB/s, %d objects)\n",
-			originLn.Addr(), *originKBps, catalog.Len())
-		errc <- originSrv.Serve(originLn)
-	}()
-	go func() {
-		fmt.Printf("proxy   listening on %s (policy %s, cache %d MB, %d shards)\n",
-			proxyLn.Addr(), *policyName, *cacheMB, px.Shards())
+		fmt.Printf("proxy   listening on %s (policy %s, cache %d MB, %d shards, tier %q)\n",
+			proxyLn.Addr(), *policyName, *cacheMB, px.Shards(), *tier)
 		errc <- proxySrv.Serve(proxyLn)
 	}()
 
@@ -123,8 +170,10 @@ func run() error {
 		if err := proxySrv.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "proxyd: proxy shutdown:", err)
 		}
-		if err := originSrv.Shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "proxyd: origin shutdown:", err)
+		if originSrv != nil {
+			if err := originSrv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "proxyd: origin shutdown:", err)
+			}
 		}
 		// Quiesce within whatever remains of the drain window: the flag
 		// bounds the whole drain, so a stalled transfer cannot hold the

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"streamcache/internal/proxy"
+)
+
+// NodeConfig describes one node's place in a cluster and compiles into
+// the proxy's routing seam.
+type NodeConfig struct {
+	// Peers lists every edge node's base URL in ring order, self
+	// included. Every node of the cluster must be configured with the
+	// identical list: placement is positional (index on the ring), so a
+	// reordered list silently splits ownership. Empty means no peering
+	// tier (requires Parent or pure edge->origin).
+	Peers []string
+	// Self is this node's index in Peers (ignored when Peers is empty).
+	Self int
+	// Parent is the parent tier's base URL; empty means no parent.
+	Parent string
+	// Origin is the default origin base URL — the fallback target when
+	// a peer or parent hop fails (must match the proxy's OriginURL).
+	Origin string
+	// VirtualNodes is the ring granularity; 0 means
+	// DefaultVirtualNodes.
+	VirtualNodes int
+	// Topology prices the hops; nil means the static preference
+	// peer < parent < origin.
+	Topology *Topology
+	// PeerHeaderTimeout bounds how long a peer or parent may take to
+	// produce response headers before the fetch is demoted to the
+	// origin. Zero means no bound.
+	PeerHeaderTimeout time.Duration
+}
+
+// Router compiles the node config into the proxy's cluster seam: the
+// fixed upstream set (peers and parent, with tier labels) and the
+// per-object route function. The route for an object this node does
+// not own is its ring owner's URL (or the parent, or the origin —
+// whatever the topology prices cheapest); the fallback is always the
+// object's true origin, so a dead peer or parent demotes the fetch
+// rather than failing it.
+func (cfg NodeConfig) Router() ([]proxy.Upstream, func(proxy.Meta) proxy.Route, error) {
+	if cfg.Origin == "" {
+		return nil, nil, fmt.Errorf("%w: empty origin URL", ErrBadCluster)
+	}
+	if len(cfg.Peers) == 0 && cfg.Parent == "" {
+		return nil, nil, fmt.Errorf("%w: no peers and no parent (nothing to route to)", ErrBadCluster)
+	}
+	var ring *Ring
+	if len(cfg.Peers) > 0 {
+		if cfg.Self < 0 || cfg.Self >= len(cfg.Peers) {
+			return nil, nil, fmt.Errorf("%w: self index %d outside peers[0,%d)", ErrBadCluster, cfg.Self, len(cfg.Peers))
+		}
+		var err error
+		ring, err = NewRing(len(cfg.Peers), cfg.VirtualNodes)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	var ups []proxy.Upstream
+	for i, u := range cfg.Peers {
+		if u == "" {
+			return nil, nil, fmt.Errorf("%w: empty peer URL at index %d", ErrBadCluster, i)
+		}
+		if i != cfg.Self {
+			ups = append(ups, proxy.Upstream{URL: u, Tier: "peer"})
+		}
+	}
+	if cfg.Parent != "" {
+		ups = append(ups, proxy.Upstream{URL: cfg.Parent, Tier: "parent"})
+	}
+
+	topo, self, hasParent := cfg.Topology, cfg.Self, cfg.Parent != ""
+	route := func(meta proxy.Meta) proxy.Route {
+		owner := self
+		if ring != nil {
+			owner = ring.Owner(meta.ID)
+		}
+		var url string
+		switch topo.Select(self, owner, hasParent) {
+		case HopPeer:
+			url = cfg.Peers[owner]
+		case HopParent:
+			url = cfg.Parent
+		default:
+			return proxy.Route{} // the object's own origin; no demotion needed
+		}
+		fallback := meta.Origin
+		if fallback == "" {
+			fallback = cfg.Origin
+		}
+		return proxy.Route{URL: url, Fallback: fallback, HeaderTimeout: cfg.PeerHeaderTimeout}
+	}
+	return ups, route, nil
+}

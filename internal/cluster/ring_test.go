@@ -1,0 +1,119 @@
+package cluster
+
+import "testing"
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(0, 0); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := NewRing(-1, 0); err == nil {
+		t.Error("negative nodes accepted")
+	}
+	if _, err := NewRing(3, -1); err == nil {
+		t.Error("negative virtual nodes accepted")
+	}
+	r, err := NewRing(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.points) != 3*DefaultVirtualNodes {
+		t.Errorf("default ring has %d points, want %d", len(r.points), 3*DefaultVirtualNodes)
+	}
+}
+
+// TestRingDeterministic: placement is a pure function of (node count,
+// virtual count, id) — two independently built rings agree on every
+// owner, which is what lets separate proxyd processes (and the
+// simulator) share ownership without coordination.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 20000; id++ {
+		oa, ob := a.Owner(id), b.Owner(id)
+		if oa != ob {
+			t.Fatalf("id %d: owners %d vs %d across identical rings", id, oa, ob)
+		}
+		if oa < 0 || oa >= 5 {
+			t.Fatalf("id %d: owner %d outside [0,5)", id, oa)
+		}
+	}
+}
+
+// TestRingGoldenPlacement pins concrete owner assignments so placement
+// survives refactors and process restarts byte-for-byte: a silent
+// change here would strand every object cached under the old mapping.
+func TestRingGoldenPlacement(t *testing.T) {
+	r, err := NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[int]int{
+		0: 0, 1: 2, 2: 0, 3: 2, 4: 0,
+		5: 1, 100: 1, 1000: 1, 123456: 2,
+	}
+	for id, want := range golden {
+		if got := r.Owner(id); got != want {
+			t.Errorf("Owner(%d) = %d, want %d (placement changed!)", id, got, want)
+		}
+	}
+}
+
+// TestRingChurn is the consistent-hashing contract: growing N nodes to
+// N+1 moves roughly 1/(N+1) of the keys, and every key that moves lands
+// on the new node — no key ever reshuffles between surviving nodes.
+func TestRingChurn(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{2, 4, 8} {
+		small, err := NewRing(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := NewRing(n+1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for id := 0; id < keys; id++ {
+			before, after := small.Owner(id), big.Owner(id)
+			if before == after {
+				continue
+			}
+			moved++
+			if after != n {
+				t.Fatalf("n=%d: id %d moved from node %d to surviving node %d, want only moves to the new node %d",
+					n, id, before, after, n)
+			}
+		}
+		frac := float64(moved) / keys
+		ideal := 1 / float64(n+1)
+		if frac < ideal/2 || frac > ideal*2 {
+			t.Errorf("n=%d->%d: moved fraction %.4f, want ~%.4f (within 2x)", n, n+1, frac, ideal)
+		}
+	}
+}
+
+// TestRingBalance: with the default virtual-node count no node owns a
+// wildly disproportionate key share.
+func TestRingBalance(t *testing.T) {
+	const keys = 20000
+	r, err := NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for id := 0; id < keys; id++ {
+		counts[r.Owner(id)]++
+	}
+	for n, c := range counts {
+		share := float64(c) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("node %d owns %.1f%% of keys, want roughly balanced (10%%-45%%)", n, share*100)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package cluster
+
+// Hop identifies which upstream a node fetches a missed object from.
+type Hop int
+
+const (
+	// HopOrigin fetches over the constrained origin path.
+	HopOrigin Hop = iota
+	// HopPeer forwards to the consistent-hash owner of the object.
+	HopPeer
+	// HopParent forwards to the parent tier.
+	HopParent
+)
+
+func (h Hop) String() string {
+	switch h {
+	case HopPeer:
+		return "peer"
+	case HopParent:
+		return "parent"
+	default:
+		return "origin"
+	}
+}
+
+// refTransferBytes is the transfer size used to price a hop: latency
+// alone would always pick the lowest-RTT link even when its bandwidth
+// is a tenth of the alternative, and bandwidth alone ignores that a
+// peer one switch away beats a parent across the continent for small
+// objects. One megabyte is the scale of a prefix transfer here.
+const refTransferBytes = 1 << 20
+
+// Topology prices the links of a cluster: peer-to-peer RTT/bandwidth
+// matrices indexed [from][to] over ring node indices, per-node links to
+// the parent tier, and per-node links to the origin. RTTs are in
+// seconds, bandwidths in bytes/sec; a bandwidth <= 0 means
+// unconstrained (the hop costs only its RTT). A nil *Topology is valid
+// and yields the default static preference peer < parent < origin.
+type Topology struct {
+	PeerRTT [][]float64
+	PeerBps [][]float64
+
+	ParentRTT []float64
+	ParentBps []float64
+
+	OriginRTT []float64
+	OriginBps []float64
+}
+
+// NewUniformTopology builds a symmetric topology where every peer link,
+// every parent link, and every origin link share one RTT/bandwidth
+// each — the common case for local experiments and the hierarchy
+// simulator, where tiers differ but nodes within a tier do not.
+func NewUniformTopology(nodes int, peerRTT, peerBps, parentRTT, parentBps, originRTT, originBps float64) *Topology {
+	t := &Topology{
+		PeerRTT:   make([][]float64, nodes),
+		PeerBps:   make([][]float64, nodes),
+		ParentRTT: make([]float64, nodes),
+		ParentBps: make([]float64, nodes),
+		OriginRTT: make([]float64, nodes),
+		OriginBps: make([]float64, nodes),
+	}
+	for i := 0; i < nodes; i++ {
+		t.PeerRTT[i] = make([]float64, nodes)
+		t.PeerBps[i] = make([]float64, nodes)
+		for j := 0; j < nodes; j++ {
+			t.PeerRTT[i][j] = peerRTT
+			t.PeerBps[i][j] = peerBps
+		}
+		t.ParentRTT[i] = parentRTT
+		t.ParentBps[i] = parentBps
+		t.OriginRTT[i] = originRTT
+		t.OriginBps[i] = originBps
+	}
+	return t
+}
+
+// hopCost is the estimated seconds to move refTransferBytes over a
+// link: rtt + bytes/bandwidth, or rtt alone when unconstrained.
+func hopCost(rtt, bps float64) float64 {
+	if bps > 0 {
+		return rtt + refTransferBytes/bps
+	}
+	return rtt
+}
+
+// matrixAt reads m[i][j] treating missing rows/columns as zero, so a
+// partially filled Topology degrades to "free link" rather than
+// panicking.
+func matrixAt(m [][]float64, i, j int) float64 {
+	if i < len(m) && j < len(m[i]) {
+		return m[i][j]
+	}
+	return 0
+}
+
+func vectorAt(v []float64, i int) float64 {
+	if i < len(v) {
+		return v[i]
+	}
+	return 0
+}
+
+// Select picks the hop node `from` should fetch a missed object over,
+// given that node `owner` owns it on the ring and whether a parent
+// tier exists. The peer hop is only a candidate when the owner is a
+// different node (forwarding to yourself is just a local miss). Costs
+// are compared with a static tiebreak of peer < parent < origin, which
+// is also the entire policy when the topology is nil: prefer the
+// cheapest copy that is still inside the cluster.
+func (t *Topology) Select(from, owner int, hasParent bool) Hop {
+	if t == nil {
+		if owner != from {
+			return HopPeer
+		}
+		if hasParent {
+			return HopParent
+		}
+		return HopOrigin
+	}
+	// Candidates are considered in ascending preference (origin, parent,
+	// peer) and a tie goes to the later candidate, which realizes the
+	// peer < parent < origin tiebreak.
+	best := HopOrigin
+	bestCost := hopCost(vectorAt(t.OriginRTT, from), vectorAt(t.OriginBps, from))
+	if hasParent {
+		if c := hopCost(vectorAt(t.ParentRTT, from), vectorAt(t.ParentBps, from)); c <= bestCost {
+			best, bestCost = HopParent, c
+		}
+	}
+	if owner != from {
+		if c := hopCost(matrixAt(t.PeerRTT, from, owner), matrixAt(t.PeerBps, from, owner)); c <= bestCost {
+			best, bestCost = HopPeer, c
+		}
+	}
+	return best
+}
+
+// HopBps returns the bandwidth (bytes/sec) of the link node `from`
+// would use for the given hop, 0 when unconstrained or unknown. The
+// router feeds it to the proxy's utility estimator so per-tier utility
+// prices the actually-constrained hop.
+func (t *Topology) HopBps(from, owner int, hop Hop) float64 {
+	if t == nil {
+		return 0
+	}
+	switch hop {
+	case HopPeer:
+		return matrixAt(t.PeerBps, from, owner)
+	case HopParent:
+		return vectorAt(t.ParentBps, from)
+	default:
+		return vectorAt(t.OriginBps, from)
+	}
+}

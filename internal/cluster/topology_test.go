@@ -1,0 +1,79 @@
+package cluster
+
+import "testing"
+
+func TestNilTopologyStaticPreference(t *testing.T) {
+	var topo *Topology
+	if got := topo.Select(0, 1, true); got != HopPeer {
+		t.Errorf("remote owner with parent: %v, want peer", got)
+	}
+	if got := topo.Select(0, 1, false); got != HopPeer {
+		t.Errorf("remote owner without parent: %v, want peer", got)
+	}
+	if got := topo.Select(0, 0, true); got != HopParent {
+		t.Errorf("local owner with parent: %v, want parent", got)
+	}
+	if got := topo.Select(0, 0, false); got != HopOrigin {
+		t.Errorf("local owner without parent: %v, want origin", got)
+	}
+	if topo.HopBps(0, 1, HopPeer) != 0 {
+		t.Error("nil topology must price hops as unconstrained")
+	}
+}
+
+func TestTopologySelectsCheapestHop(t *testing.T) {
+	// Fast peers, mid parent, slow origin: the usual deployment.
+	topo := NewUniformTopology(3, 0.001, 100e6, 0.01, 20e6, 0.1, 1e6)
+	if got := topo.Select(0, 2, true); got != HopPeer {
+		t.Errorf("fast peer available: %v, want peer", got)
+	}
+	if got := topo.Select(0, 0, true); got != HopParent {
+		t.Errorf("self-owned object: %v, want parent (peer hop not a candidate)", got)
+	}
+
+	// Constrained peer link: a peer behind a thin pipe must lose to a
+	// fat origin path — topology-aware selection, not static preference.
+	slowPeer := NewUniformTopology(3, 0.001, 10e3, 0, 0, 0.001, 100e6)
+	if got := slowPeer.Select(0, 2, false); got != HopOrigin {
+		t.Errorf("thin peer pipe vs fat origin: %v, want origin", got)
+	}
+
+	// Exact cost ties break toward the innermost tier: peer < parent <
+	// origin.
+	tie := NewUniformTopology(3, 0.01, 1e6, 0.01, 1e6, 0.01, 1e6)
+	if got := tie.Select(0, 1, true); got != HopPeer {
+		t.Errorf("tie: %v, want peer", got)
+	}
+	if got := tie.Select(0, 0, true); got != HopParent {
+		t.Errorf("tie, self-owned: %v, want parent", got)
+	}
+}
+
+func TestTopologyHopBps(t *testing.T) {
+	topo := NewUniformTopology(2, 0.001, 100e6, 0.01, 20e6, 0.1, 1e6)
+	if got := topo.HopBps(0, 1, HopPeer); got != 100e6 {
+		t.Errorf("peer bps = %v, want 100e6", got)
+	}
+	if got := topo.HopBps(0, 1, HopParent); got != 20e6 {
+		t.Errorf("parent bps = %v, want 20e6", got)
+	}
+	if got := topo.HopBps(0, 1, HopOrigin); got != 1e6 {
+		t.Errorf("origin bps = %v, want 1e6", got)
+	}
+	// Sparse topologies degrade to "unconstrained", never panic.
+	sparse := &Topology{}
+	if got := sparse.HopBps(5, 9, HopPeer); got != 0 {
+		t.Errorf("sparse peer bps = %v, want 0", got)
+	}
+	if got := sparse.Select(5, 9, true); got != HopPeer {
+		t.Errorf("sparse select = %v, want peer (all links free, innermost tier wins)", got)
+	}
+}
+
+func TestHopString(t *testing.T) {
+	for hop, want := range map[Hop]string{HopPeer: "peer", HopParent: "parent", HopOrigin: "origin"} {
+		if got := hop.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(hop), got, want)
+		}
+	}
+}

@@ -299,6 +299,7 @@ func Experiments() []Experiment {
 		{"refined-e", refinedESweepRunner},
 		{"refined-sigma", refinedSigmaSweepRunner},
 		{"refined-cache", refinedCacheSweepRunner},
+		{"hierarchy", hierarchyRunner},
 	}
 }
 

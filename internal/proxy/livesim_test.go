@@ -1,4 +1,4 @@
-package proxy
+package proxy_test
 
 import (
 	"fmt"
@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"streamcache/internal/core"
+	"streamcache/internal/proxy"
 	"streamcache/internal/sim"
 	"streamcache/internal/workload"
 )
@@ -14,13 +15,13 @@ import (
 // liveCatalog converts a generated workload's objects into a proxy
 // catalog with identical IDs, sizes and rates, so the live tier serves
 // exactly the object population the simulator models.
-func liveCatalog(t *testing.T, wl *workload.Workload) *Catalog {
+func liveCatalog(t *testing.T, wl *workload.Workload) *proxy.Catalog {
 	t.Helper()
-	metas := make([]Meta, len(wl.Objects))
+	metas := make([]proxy.Meta, len(wl.Objects))
 	for i, o := range wl.Objects {
-		metas[i] = Meta{ID: o.ID, Size: o.Size, Rate: o.Rate, Duration: o.Duration, Value: o.Value}
+		metas[i] = proxy.Meta{ID: o.ID, Size: o.Size, Rate: o.Rate, Duration: o.Duration, Value: o.Value}
 	}
-	c, err := NewCatalog(metas)
+	c, err := proxy.NewCatalog(metas)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,13 +76,13 @@ func TestLiveHitRatioMatchesSimulator(t *testing.T) {
 
 	for _, shards := range []int{1, 4} {
 		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
-			origin, err := NewOrigin(catalog, 0)
+			origin, err := proxy.NewOrigin(catalog, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
 			originSrv := httptest.NewServer(origin)
 			defer originSrv.Close()
-			px, err := New(Config{
+			px, err := proxy.New(proxy.Config{
 				Catalog:    catalog,
 				OriginURL:  originSrv.URL,
 				Shards:     shards,
@@ -99,7 +100,7 @@ func TestLiveHitRatioMatchesSimulator(t *testing.T) {
 			// the post-warmup half.
 			var cacheBytesServed, totalBytes float64
 			for i, req := range wl.Requests {
-				res, err := Fetch(fmt.Sprintf("%s/objects/%d", proxySrv.URL, req.ObjectID))
+				res, err := proxy.Fetch(fmt.Sprintf("%s/objects/%d", proxySrv.URL, req.ObjectID))
 				if err != nil {
 					t.Fatalf("request %d (object %d): %v", i, req.ObjectID, err)
 				}

@@ -46,14 +46,27 @@ type Proxy struct {
 	catalog   *Catalog
 	originURL string
 	client    *http.Client
+	now       func() time.Time
 	start     time.Time
+	tier      string
 
-	// origins lists every distinct origin base URL the catalog can route
-	// to (default origin first, rest sorted); originIndex inverts it.
-	// The set is fixed at construction — per-origin estimator state is
-	// dense slices indexed by origin, never a growing map.
+	// origins lists every distinct upstream base URL misses can be
+	// fetched over: the default origin first, then the catalog's origins
+	// sorted, then configured cluster upstreams (peers, parent) in
+	// declaration order; originIndex inverts it. The set is fixed at
+	// construction — per-upstream estimator state is dense slices
+	// indexed by origin, never a growing map.
 	origins     []string
 	originIndex map[string]int
+
+	// router maps an object to the upstream its misses should be
+	// fetched over (nil: always the object's own origin). tierOf maps
+	// each origin index to a slot in tierNames/tierBytes, splitting
+	// BytesFetched by cluster tier for /stats.
+	router    func(Meta) Route
+	tierOf    []int
+	tierNames []string
+	tierBytes []atomic.Int64
 
 	shards   []*shard
 	stats    counters
@@ -91,6 +104,36 @@ type counters struct {
 	coalesced    atomic.Int64
 }
 
+// Upstream names one non-origin fetch target (a peer or parent proxy
+// in a cluster) the Router may direct misses to. Each upstream gets its
+// own passive bandwidth estimator, and its fetched bytes are accounted
+// under its Tier label in Stats.TierBytes.
+type Upstream struct {
+	// URL is the upstream's base URL (e.g. "http://peer-2:8080").
+	URL string
+	// Tier labels the upstream for per-tier accounting: "peer",
+	// "parent", ... Empty means "origin".
+	Tier string
+}
+
+// Route is a Router's decision for one object: where its misses are
+// fetched from, and what to do when that upstream fails.
+type Route struct {
+	// URL is the primary upstream base URL; empty means the object's
+	// own origin. It must be the default origin, a catalog origin, or a
+	// configured Upstream — unknown URLs fall back to the object's
+	// origin.
+	URL string
+	// Fallback is tried (once, with no header timeout) when the primary
+	// fails before delivering any byte — connection refused, header
+	// timeout, bad status. Empty means no fallback.
+	Fallback string
+	// HeaderTimeout bounds how long the primary may take to produce
+	// response headers before the fetch is abandoned (and the Fallback
+	// tried). Zero means no bound. It never cuts an in-progress body.
+	HeaderTimeout time.Duration
+}
+
 // Stats counts proxy activity; exposed at GET /stats.
 type Stats struct {
 	Requests     int64 `json:"requests"`
@@ -111,6 +154,14 @@ type Stats struct {
 	// DefaultOrigin is the base URL misses without an explicit
 	// Meta.Origin are fetched from; it anchors EstimateBps("").
 	DefaultOrigin string `json:"defaultOrigin"`
+	// Tier is this node's own label in its cluster ("edge", "parent");
+	// empty for a standalone proxy.
+	Tier string `json:"tier,omitempty"`
+	// TierBytes splits BytesFetched by the tier of the upstream the
+	// bytes came over: "origin" plus every configured Upstream tier.
+	// Together with BytesFromCache (the edge-served share) it yields
+	// the per-tier hit ratios the hierarchy experiments report.
+	TierBytes map[string]int64 `json:"tierBytes"`
 }
 
 // EstimateBps returns the path estimate for the given origin. An empty
@@ -157,6 +208,18 @@ type Config struct {
 	CacheOptions []core.Option
 	// Client performs origin fetches; nil means a default http.Client.
 	Client *http.Client
+	// Upstreams names the cluster fetch targets (peers, parent) Router
+	// may route misses to, beyond the catalog's origins.
+	Upstreams []Upstream
+	// Router picks the upstream each object's misses are fetched over;
+	// nil routes every miss to the object's own origin.
+	Router func(Meta) Route
+	// Now supplies the proxy's clock (policy aging, passive throughput
+	// timing); nil means time.Now. Injectable for deterministic
+	// multi-node tests.
+	Now func() time.Time
+	// Tier labels this node in its cluster; surfaced in Stats.
+	Tier string
 }
 
 // New builds a sharded proxy from cfg.
@@ -187,7 +250,7 @@ func New(cfg Config) (*Proxy, error) {
 		}
 		caches[i] = c
 	}
-	return newProxy(cfg.Catalog, caches, cfg.OriginURL, cfg.Client)
+	return newProxy(cfg, caches)
 }
 
 // NewProxy builds a single-shard proxy over catalog that fetches misses
@@ -199,42 +262,87 @@ func NewProxy(catalog *Catalog, cache *core.Cache, originURL string) (*Proxy, er
 	if cache == nil {
 		return nil, fmt.Errorf("%w: nil cache", ErrBadProxy)
 	}
-	return newProxy(catalog, []*core.Cache{cache}, originURL, nil)
+	return newProxy(Config{Catalog: catalog, OriginURL: originURL}, []*core.Cache{cache})
 }
 
-func newProxy(catalog *Catalog, caches []*core.Cache, originURL string, client *http.Client) (*Proxy, error) {
+func newProxy(cfg Config, caches []*core.Cache) (*Proxy, error) {
+	catalog, originURL := cfg.Catalog, cfg.OriginURL
 	if catalog == nil {
 		return nil, fmt.Errorf("%w: nil catalog", ErrBadProxy)
 	}
 	if originURL == "" {
 		return nil, fmt.Errorf("%w: empty origin URL", ErrBadProxy)
 	}
+	client := cfg.Client
 	if client == nil {
 		client = &http.Client{}
 	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
 
-	// The estimator table is fixed at construction: the default origin
-	// plus every origin named by the (immutable) catalog. It can never
-	// grow at runtime, so per-origin state is bounded and lock-free to
-	// index.
+	// The estimator table is fixed at construction: the default origin,
+	// every origin named by the (immutable) catalog, and every
+	// configured cluster upstream. It can never grow at runtime, so
+	// per-upstream state is bounded and lock-free to index. Each slot
+	// carries the tier its fetched bytes are accounted under.
 	origins := []string{originURL}
+	tiers := []string{"origin"}
 	for _, o := range catalog.Origins() {
 		if o != originURL {
 			origins = append(origins, o)
+			tiers = append(tiers, "origin")
 		}
 	}
-	originIndex := make(map[string]int, len(origins))
+	originIndex := make(map[string]int, len(origins)+len(cfg.Upstreams))
 	for i, o := range origins {
 		originIndex[o] = i
+	}
+	for _, u := range cfg.Upstreams {
+		if u.URL == "" {
+			return nil, fmt.Errorf("%w: upstream with empty URL", ErrBadProxy)
+		}
+		if _, dup := originIndex[u.URL]; dup {
+			continue // already an origin (or listed twice): first tier wins
+		}
+		tier := u.Tier
+		if tier == "" {
+			tier = "origin"
+		}
+		originIndex[u.URL] = len(origins)
+		origins = append(origins, u.URL)
+		tiers = append(tiers, tier)
+	}
+
+	// Dense per-tier byte counters: tierOf maps an origin index to its
+	// slot in tierNames/tierBytes.
+	tierIndex := map[string]int{}
+	tierOf := make([]int, len(origins))
+	var tierNames []string
+	for i, t := range tiers {
+		idx, ok := tierIndex[t]
+		if !ok {
+			idx = len(tierNames)
+			tierIndex[t] = idx
+			tierNames = append(tierNames, t)
+		}
+		tierOf[i] = idx
 	}
 
 	p := &Proxy{
 		catalog:     catalog,
 		originURL:   originURL,
 		client:      client,
-		start:       time.Now(),
+		now:         now,
+		start:       now(),
+		tier:        cfg.Tier,
 		origins:     origins,
 		originIndex: originIndex,
+		router:      cfg.Router,
+		tierOf:      tierOf,
+		tierNames:   tierNames,
+		tierBytes:   make([]atomic.Int64, len(tierNames)),
 		shards:      make([]*shard, len(caches)),
 	}
 	for i, c := range caches {
@@ -277,6 +385,58 @@ func (p *Proxy) originFor(meta Meta) string {
 		return meta.Origin
 	}
 	return p.originURL
+}
+
+// resolvedRoute is a Router decision resolved against the fixed
+// upstream table: URLs paired with their estimator indices, so the
+// fetch path never consults the map again. fbIdx is -1 when there is
+// no fallback.
+type resolvedRoute struct {
+	url           string
+	idx           int
+	fbURL         string
+	fbIdx         int
+	headerTimeout time.Duration
+}
+
+// routeFor resolves where meta's misses are fetched from. With no
+// router (or a router answer naming an unknown upstream) that is the
+// object's own origin; otherwise the router's primary, with its
+// fallback resolved alongside. The primary's estimator index is what
+// the cache policy prices — per-tier utility reflects the
+// actually-constrained hop.
+//
+//mediavet:hotpath
+func (p *Proxy) routeFor(meta Meta) resolvedRoute {
+	origin := p.originFor(meta)
+	rt := resolvedRoute{url: origin, idx: p.originIndex[origin], fbIdx: -1}
+	if p.router == nil {
+		return rt
+	}
+	r := p.router(meta)
+	if r.URL == "" || r.URL == rt.url {
+		return rt
+	}
+	idx, ok := p.originIndex[r.URL]
+	if !ok {
+		return rt // unknown upstream: keep the object's own origin
+	}
+	rt.url, rt.idx = r.URL, idx
+	rt.headerTimeout = r.HeaderTimeout
+	if r.Fallback != "" && r.Fallback != r.URL {
+		if fbIdx, ok := p.originIndex[r.Fallback]; ok {
+			rt.fbURL, rt.fbIdx = r.Fallback, fbIdx
+		}
+	}
+	return rt
+}
+
+// addTierBytes accounts n fetched bytes to the tier of upstream
+// originIdx.
+func (p *Proxy) addTierBytes(originIdx int, n int64) {
+	if n > 0 {
+		p.tierBytes[p.tierOf[originIdx]].Add(n)
+	}
 }
 
 // estimate returns the shard's current bandwidth estimate for an origin
@@ -328,12 +488,23 @@ func (p *Proxy) serveStats(w http.ResponseWriter) {
 // request path.
 func (p *Proxy) Quiesce() { p.inflight.Wait() }
 
-// serveObject implements joint delivery: cached prefix first, origin
-// remainder streamed behind it, with opportunistic prefix growth.
+// serveObject implements joint delivery: cached prefix first, upstream
+// remainder streamed behind it, with opportunistic prefix growth. It
+// honors "Range: bytes=N-" requests (status 206) so one proxy can act
+// as another's upstream — a peer resuming a transfer past its own
+// cached prefix asks for exactly the missing suffix.
 //mediavet:hotpath
 func (p *Proxy) serveObject(w http.ResponseWriter, req *http.Request, meta Meta) {
 	p.inflight.Add(1)
 	defer p.inflight.Done()
+
+	//mediavet:ignore hotpath parseRangeStart allocates only on its reject path; ranged requests come from peers, not the per-client steady path
+	reqStart, rerr := parseRangeStart(req.Header.Get("Range"), meta.Size)
+	if rerr != nil {
+		http.Error(w, rerr.Error(), http.StatusRequestedRangeNotSatisfiable)
+		return
+	}
+
 	obj := core.Object{
 		ID:       meta.ID,
 		Size:     meta.Size,
@@ -342,13 +513,12 @@ func (p *Proxy) serveObject(w http.ResponseWriter, req *http.Request, meta Meta)
 		Value:    meta.Value,
 	}
 
-	origin := p.originFor(meta)
-	originIdx := p.originIndex[origin]
+	rt := p.routeFor(meta)
 	sh := p.shardFor(meta.ID)
 
 	sh.mu.Lock()
-	now := time.Since(p.start).Seconds()
-	res := sh.cache.Access(obj, sh.estimate(originIdx), now)
+	now := p.now().Sub(p.start).Seconds()
+	res := sh.cache.Access(obj, sh.estimate(rt.idx), now)
 	// Release byte storage for whatever the cache evicted.
 	for _, v := range res.Victims {
 		sh.store.Truncate(v.ID, sh.cache.CachedBytes(v.ID))
@@ -364,33 +534,50 @@ func (p *Proxy) serveObject(w http.ResponseWriter, req *http.Request, meta Meta)
 	// segments, byte-stable without holding any lock while we write it
 	// to the client.
 	v := sh.store.View(meta.ID, meta.Size)
+	// cacheServed is what the store can deliver past the requested
+	// offset; a ranged request starting beyond the prefix serves nothing
+	// from cache and relays the whole remainder.
+	cacheServed := v.Len() - reqStart
+	if cacheServed < 0 {
+		cacheServed = 0
+	}
 
 	h := w.Header()
-	if meta.sizeHeader != nil {
-		h["Content-Length"] = meta.sizeHeader
+	if reqStart == 0 {
+		if meta.sizeHeader != nil {
+			h["Content-Length"] = meta.sizeHeader
+		} else {
+			// Meta built outside NewCatalog (tests): render on the spot.
+			h["Content-Length"] = []string{strconv.FormatInt(meta.Size, 10)}
+		}
 	} else {
-		// Meta built outside NewCatalog (tests): render on the spot.
-		h["Content-Length"] = []string{strconv.FormatInt(meta.Size, 10)}
+		// Ranged responses serve peer resumes, not the per-client steady
+		// path: render headers on the spot.
+		h["Content-Length"] = []string{strconv.FormatInt(meta.Size-reqStart, 10)}
+		//mediavet:ignore hotpath ranged response headers render once per peer resume, not on the steady client path
+		h["Content-Range"] = []string{fmt.Sprintf("bytes %d-%d/%d", reqStart, meta.Size-1, meta.Size)}
 	}
 	h["Content-Type"] = contentTypeMPEG
-	if v.Len() > 0 {
-		if v.hdr != nil {
+	if cacheServed > 0 {
+		if reqStart == 0 && v.hdr != nil {
 			h["X-Cache"] = v.hdr
 		} else {
-			// The stored prefix outgrew the object size and the view was
-			// clamped — a transient reconciliation state, not the steady
-			// hit path.
-			//mediavet:ignore hotpath clamped-view header renders only while store and cache accounting disagree mid-eviction
-			h["X-Cache"] = []string{"HIT-PREFIX; bytes=" + strconv.FormatInt(v.Len(), 10)}
+			// Ranged request, or the stored prefix outgrew the object size
+			// and the view was clamped — not the steady hit path.
+			//mediavet:ignore hotpath clamped-view and ranged headers render off the steady hit path
+			h["X-Cache"] = []string{"HIT-PREFIX; bytes=" + strconv.FormatInt(cacheServed, 10)}
 		}
 	} else {
 		h["X-Cache"] = missHeader
 	}
+	if reqStart > 0 {
+		w.WriteHeader(http.StatusPartialContent)
+	}
 
 	// Phase 1: the cached prefix flows at cache-client speed, written
 	// straight from the aliased segments — no per-request copy.
-	if v.Len() > 0 {
-		n, err := v.WriteTo(w)
+	if cacheServed > 0 {
+		n, err := v.WriteRangeTo(w, reqStart)
 		if err != nil {
 			return
 		}
@@ -401,13 +588,16 @@ func (p *Proxy) serveObject(w http.ResponseWriter, req *http.Request, meta Meta)
 		p.stats.bytesFromHit.Add(n)
 	}
 
-	// Phase 2: the remainder comes over the constrained origin path —
+	// Phase 2: the remainder comes over the constrained upstream path —
 	// through the object's in-flight relay when one covers our offset,
 	// else through a new relay other requests can attach to. A reader
 	// the bounded ring laps (more than the ring capacity behind the
-	// fetch) is demoted to a private origin fetch from where it left
+	// fetch) is demoted to a private upstream fetch from where it left
 	// off, so it still receives correct bytes.
 	start := v.Len()
+	if start < reqStart {
+		start = reqStart
+	}
 	if start >= meta.Size {
 		return
 	}
@@ -422,7 +612,7 @@ func (p *Proxy) serveObject(w http.ResponseWriter, req *http.Request, meta Meta)
 		rl.detach()
 		if lapped {
 			//mediavet:ignore hotpath ring-lap demotion runs once per slow client, not per request
-			p.relayDirect(req.Context(), w, sh, meta, origin, originIdx, off)
+			p.relayDirect(req.Context(), w, sh, meta, rt, off)
 		}
 	case rl != nil:
 		// The in-flight transfer began past our offset (the prefix
@@ -430,22 +620,22 @@ func (p *Proxy) serveObject(w http.ResponseWriter, req *http.Request, meta Meta)
 		// privately, leaving the store to the active fetch.
 		sh.mu.Unlock()
 		//mediavet:ignore hotpath cold path: the racing-relay fallback runs once per lost race, not per request
-		p.relayDirect(req.Context(), w, sh, meta, origin, originIdx, start)
+		p.relayDirect(req.Context(), w, sh, meta, rt, start)
 	default:
 		ctx, cancel := context.WithCancel(context.Background())
-		//mediavet:ignore hotpath cold miss path: relay construction happens once per origin fetch and is amortized over every coalesced follower
+		//mediavet:ignore hotpath cold miss path: relay construction happens once per upstream fetch and is amortized over every coalesced follower
 		rl = newRelay(start, retainTarget, cancel)
 		rl.attach() // the leader; a fresh relay never refuses
 		sh.inflight[meta.ID] = rl
 		p.inflight.Add(1)
-		//mediavet:ignore hotpath cold miss path: one relay goroutine per origin fetch, torn down when the transfer ends
-		go p.runRelay(ctx, sh, meta, origin, originIdx, rl)
+		//mediavet:ignore hotpath cold miss path: one relay goroutine per upstream fetch, torn down when the transfer ends
+		go p.runRelay(ctx, sh, meta, rt, rl)
 		sh.mu.Unlock()
 		off, lapped := p.streamFromRelay(req.Context(), w, rl, start)
 		rl.detach()
 		if lapped {
 			//mediavet:ignore hotpath ring-lap demotion runs once per slow client, not per request
-			p.relayDirect(req.Context(), w, sh, meta, origin, originIdx, off)
+			p.relayDirect(req.Context(), w, sh, meta, rt, off)
 		}
 	}
 }
@@ -487,22 +677,24 @@ func (p *Proxy) streamFromRelay(ctx context.Context, w http.ResponseWriter, rl *
 }
 
 // runRelay is the fetch goroutine behind one relay: it pulls the
-// remainder from the origin exactly once, publishes it to every
-// attached client and the prefix store, then reconciles cache
+// remainder from the routed upstream exactly once, publishes it to
+// every attached client and the prefix store, then reconciles cache
 // accounting with what was actually materialized. ctx is canceled by
 // the last detaching client, aborting a transfer nobody reads anymore.
-func (p *Proxy) runRelay(ctx context.Context, sh *shard, meta Meta, origin string, originIdx int, rl *relay) {
+func (p *Proxy) runRelay(ctx context.Context, sh *shard, meta Meta, rt resolvedRoute, rl *relay) {
 	defer p.inflight.Done()
-	fetched, elapsed, err := p.fetchOrigin(ctx, sh, meta, origin, rl)
+	fetched, elapsed, usedIdx, err := p.fetchOrigin(ctx, sh, meta, rt, rl)
 	rl.finish(err)
 	p.stats.bytesFetched.Add(fetched)
+	p.addTierBytes(usedIdx, fetched)
 
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	delete(sh.inflight, meta.ID)
-	// Passive measurement: throughput of this transfer on this path.
+	// Passive measurement: throughput of this transfer on the path that
+	// actually carried it (the fallback's, if the primary was demoted).
 	if elapsed > 0 && fetched > 0 {
-		sh.observe(originIdx, float64(fetched)/elapsed)
+		sh.observe(usedIdx, float64(fetched)/elapsed)
 	}
 	// Reconcile accounting and materialization: an aborted transfer can
 	// leave the cache granting bytes the store never received, and an
@@ -518,15 +710,18 @@ func (p *Proxy) runRelay(ctx context.Context, sh *shard, meta Meta, origin strin
 }
 
 // fetchOrigin streams object bytes [rl.start, meta.Size) from the
-// origin into the relay, retaining up to the relay's (possibly still
-// rising) retention limit in the shard's store. It returns the bytes
-// fetched and the transfer duration in seconds.
-func (p *Proxy) fetchOrigin(ctx context.Context, sh *shard, meta Meta, origin string, rl *relay) (int64, float64, error) {
-	fetchStart := time.Now()
-	resp, err := p.originRequest(ctx, meta, origin, rl.start)
+// routed upstream into the relay, retaining up to the relay's (possibly
+// still rising) retention limit in the shard's store. It returns the
+// bytes fetched, the transfer duration in seconds, and the upstream
+// index that actually carried the transfer (the fallback's when the
+// primary failed before its first byte).
+func (p *Proxy) fetchOrigin(ctx context.Context, sh *shard, meta Meta, rt resolvedRoute, rl *relay) (int64, float64, int, error) {
+	fetchStart := p.now()
+	resp, release, usedIdx, err := p.openUpstream(ctx, meta, rt, rl.start)
 	if err != nil {
-		return 0, time.Since(fetchStart).Seconds(), err
+		return 0, p.now().Sub(fetchStart).Seconds(), usedIdx, err
 	}
+	defer release()
 	defer resp.Body.Close()
 
 	var fetched int64
@@ -551,21 +746,22 @@ func (p *Proxy) fetchOrigin(ctx context.Context, sh *shard, meta Meta, origin st
 			break
 		}
 		if readErr != nil {
-			return fetched, time.Since(fetchStart).Seconds(), fmt.Errorf("proxy: origin read: %w", readErr)
+			return fetched, p.now().Sub(fetchStart).Seconds(), usedIdx, fmt.Errorf("proxy: upstream read: %w", readErr)
 		}
 	}
-	return fetched, time.Since(fetchStart).Seconds(), nil
+	return fetched, p.now().Sub(fetchStart).Seconds(), usedIdx, nil
 }
 
-// relayDirect streams [start, meta.Size) from the origin straight to
-// one client, bypassing the store — the fallback when an in-flight
-// relay exists but began past this client's offset.
-func (p *Proxy) relayDirect(ctx context.Context, w http.ResponseWriter, sh *shard, meta Meta, origin string, originIdx int, start int64) {
-	fetchStart := time.Now()
-	resp, err := p.originRequest(ctx, meta, origin, start)
+// relayDirect streams [start, meta.Size) from the routed upstream
+// straight to one client, bypassing the store — the fallback when an
+// in-flight relay exists but began past this client's offset.
+func (p *Proxy) relayDirect(ctx context.Context, w http.ResponseWriter, sh *shard, meta Meta, rt resolvedRoute, start int64) {
+	fetchStart := p.now()
+	resp, release, usedIdx, err := p.openUpstream(ctx, meta, rt, start)
 	if err != nil {
 		return
 	}
+	defer release()
 	defer resp.Body.Close()
 	fl, _ := w.(http.Flusher)
 	var fetched int64
@@ -588,18 +784,62 @@ func (p *Proxy) relayDirect(ctx context.Context, w http.ResponseWriter, sh *shar
 		}
 	}
 	p.stats.bytesFetched.Add(fetched)
-	if elapsed := time.Since(fetchStart).Seconds(); elapsed > 0 && fetched > 0 {
+	p.addTierBytes(usedIdx, fetched)
+	if elapsed := p.now().Sub(fetchStart).Seconds(); elapsed > 0 && fetched > 0 {
 		sh.mu.Lock()
-		sh.observe(originIdx, float64(fetched)/elapsed)
+		sh.observe(usedIdx, float64(fetched)/elapsed)
 		sh.mu.Unlock()
 	}
 }
 
+// openUpstream opens the transfer for meta over rt's primary upstream,
+// demoting to rt's fallback when the primary fails before delivering
+// any byte — connection refused, header timeout, bad status. The
+// demotion happens here, before the first byte reaches a relay or
+// client, so a mid-stream upstream death still truncates cleanly (the
+// next request recovers over the fallback path instead). It returns
+// the response, a release func the caller must invoke once the body is
+// consumed, and the upstream index that will carry the transfer.
+func (p *Proxy) openUpstream(ctx context.Context, meta Meta, rt resolvedRoute, start int64) (*http.Response, func(), int, error) {
+	resp, release, err := p.openOne(ctx, meta, rt.url, start, rt.headerTimeout)
+	if err == nil {
+		return resp, release, rt.idx, nil
+	}
+	if rt.fbIdx < 0 || ctx.Err() != nil {
+		return nil, nil, rt.idx, err
+	}
+	resp, release, ferr := p.openOne(ctx, meta, rt.fbURL, start, 0)
+	if ferr != nil {
+		return nil, nil, rt.fbIdx, fmt.Errorf("proxy: primary upstream: %v; fallback: %w", err, ferr)
+	}
+	return resp, release, rt.fbIdx, nil
+}
+
+// openOne opens one upstream request, optionally bounding how long the
+// upstream may take to produce response headers. The timeout never
+// cuts an in-progress body: the timer is disarmed the moment headers
+// arrive, and the returned release only frees the derived context.
+func (p *Proxy) openOne(ctx context.Context, meta Meta, url string, start int64, timeout time.Duration) (*http.Response, func(), error) {
+	if timeout <= 0 {
+		resp, err := p.originRequest(ctx, meta, url, start)
+		return resp, func() {}, err
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	timer := time.AfterFunc(timeout, cancel)
+	resp, err := p.originRequest(hctx, meta, url, start)
+	timer.Stop()
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	return resp, cancel, nil
+}
+
 // originRequest opens a ranged GET for meta's content from the given
-// origin starting at the given byte offset. A ranged request demands a
-// 206: an origin that ignores Range and replies 200 would deliver byte
-// 0 at offset `start`, corrupting the shared relay and prefix store,
-// so it is rejected here.
+// upstream starting at the given byte offset. A ranged request demands
+// a 206: an upstream that ignores Range and replies 200 would deliver
+// byte 0 at offset `start`, corrupting the shared relay and prefix
+// store, so it is rejected here.
 func (p *Proxy) originRequest(ctx context.Context, meta Meta, origin string, start int64) (*http.Response, error) {
 	url := fmt.Sprintf("%s/objects/%d", origin, meta.ID)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
@@ -640,6 +880,29 @@ func (p *Proxy) StoredTotal() int64 {
 	return total
 }
 
+// AccountedBytes returns the cache-accounted prefix bytes of object id
+// (a test hook: after Quiesce it must equal StoredBytes — the
+// cluster-wide reconciliation invariant).
+func (p *Proxy) AccountedBytes(id int) int64 {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.cache.CachedBytes(id)
+}
+
+// InflightRelays returns the number of in-flight upstream transfers
+// across all shards (a test hook: zero after Quiesce, or a relay
+// leaked).
+func (p *Proxy) InflightRelays() int {
+	var n int
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		n += len(sh.inflight)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // Snapshot aggregates the current stats across shards. Shard snapshots
 // are taken one shard at a time under that shard's own lock — no
 // stop-the-world pause — so the result is a consistent-per-shard,
@@ -653,6 +916,11 @@ func (p *Proxy) Snapshot() Stats {
 		CoalescedRequests: p.stats.coalesced.Load(),
 		Shards:            len(p.shards),
 		DefaultOrigin:     p.originURL,
+		Tier:              p.tier,
+	}
+	s.TierBytes = make(map[string]int64, len(p.tierNames))
+	for i, t := range p.tierNames {
+		s.TierBytes[t] = p.tierBytes[i].Load()
 	}
 	// Dense accumulators indexed by origin keep the aggregation to two
 	// small allocations regardless of shard count.

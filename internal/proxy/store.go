@@ -106,6 +106,41 @@ func (v prefixView) WriteTo(w io.Writer) (int64, error) {
 	return written, nil
 }
 
+// WriteRangeTo streams the snapshot's bytes at object offsets
+// [from, Len()) to w without copying — the ranged variant of WriteTo
+// used when a peer or a ranged client resumes mid-prefix. A from at or
+// past the view length writes nothing.
+//
+//mediavet:hotpath
+func (v prefixView) WriteRangeTo(w io.Writer, from int64) (int64, error) {
+	if from <= 0 {
+		return v.WriteTo(w)
+	}
+	var written int64
+	for i, seg := range v.segs {
+		if seg.off >= v.n {
+			break
+		}
+		end := v.n
+		if i+1 < len(v.segs) && v.segs[i+1].off < end {
+			end = v.segs[i+1].off
+		}
+		if end <= from {
+			continue
+		}
+		lo := seg.off
+		if from > lo {
+			lo = from
+		}
+		n, err := w.Write(seg.buf[lo-seg.off : end-seg.off])
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
 // View captures a zero-copy snapshot of object id's prefix, clamped to
 // max bytes. The empty view has Len() 0.
 //

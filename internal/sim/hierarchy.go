@@ -1,0 +1,317 @@
+package sim
+
+import (
+	"fmt"
+
+	"streamcache/internal/cluster"
+	"streamcache/internal/core"
+	"streamcache/internal/par"
+)
+
+// PeeringPolicy selects how edge nodes cooperate in a hierarchy run.
+type PeeringPolicy string
+
+const (
+	// PeeringNone sends every edge miss straight up (parent, then
+	// origin) — edges are isolated caches.
+	PeeringNone PeeringPolicy = "none"
+	// PeeringOwner forwards an edge miss to the object's
+	// consistent-hash owner before the parent tier, so the cluster
+	// holds ~one copy of each object across edges.
+	PeeringOwner PeeringPolicy = "owner"
+)
+
+// HierarchyConfig parameterizes a multi-node hierarchy run: the
+// embedded Config's CacheBytes is the cluster-wide budget, split
+// between the parent tier (ParentFraction, when Levels is 2) and the
+// edges (evenly, via core.SplitCapacity). Request i goes to edge
+// i % Edges — the same assignment cmd/loadgen uses against a live
+// cluster, which is what lets TestClusterHitRatioMatchesSimulator pin
+// the two against each other.
+//
+// Only the oracle estimator is supported (Estimators must be nil):
+// hop pricing is structural — PeerBps/ParentBps price the peer and
+// parent links, the path means price the origin hop — not measured.
+type HierarchyConfig struct {
+	Config
+
+	// Edges is the number of edge nodes (0 means 1).
+	Edges int
+	// Levels is the tier depth: 1 = edges -> origin, 2 = edges ->
+	// parent -> origin (0 means 1).
+	Levels int
+	// ParentFraction is the share of CacheBytes given to the parent
+	// tier when Levels is 2.
+	ParentFraction float64
+	// Peering selects edge cooperation ("" means PeeringNone).
+	Peering PeeringPolicy
+	// VirtualNodes is the ownership-ring granularity (0 means
+	// cluster.DefaultVirtualNodes).
+	VirtualNodes int
+	// PeerBps prices the edge-to-owner link for the utility model
+	// (bytes/s; 0 means price the object's origin path instead).
+	PeerBps float64
+	// ParentBps prices the edge-to-parent link likewise.
+	ParentBps float64
+}
+
+// HierarchyMetrics report where each watched byte was served from,
+// averaged over the measurement phase of all runs. The four byte
+// fractions partition 1: every byte a client watched came out of its
+// edge's cache, a peer owner's cache, the parent's cache, or over the
+// origin path.
+type HierarchyMetrics struct {
+	Requests int
+	// TrafficReductionRatio is the cluster-wide figure of merit:
+	// 1 - origin bytes / watched bytes (at one edge and one level it
+	// coincides exactly with Metrics.TrafficReductionRatio).
+	TrafficReductionRatio float64
+	EdgeByteFrac          float64
+	PeerByteFrac          float64
+	ParentByteFrac        float64
+	OriginByteFrac        float64
+}
+
+func (c HierarchyConfig) normalize() (HierarchyConfig, error) {
+	if c.Estimators != nil {
+		return c, fmt.Errorf("%w: hierarchy runs support only the oracle estimator (Estimators must be nil)", ErrBadConfig)
+	}
+	if c.Edges == 0 {
+		c.Edges = 1
+	}
+	if c.Edges < 0 {
+		return c, fmt.Errorf("%w: Edges=%d", ErrBadConfig, c.Edges)
+	}
+	if c.Levels == 0 {
+		c.Levels = 1
+	}
+	if c.Levels != 1 && c.Levels != 2 {
+		return c, fmt.Errorf("%w: Levels=%d, want 1 or 2", ErrBadConfig, c.Levels)
+	}
+	if c.ParentFraction < 0 || c.ParentFraction >= 1 {
+		return c, fmt.Errorf("%w: ParentFraction=%v, want in [0,1)", ErrBadConfig, c.ParentFraction)
+	}
+	if c.Levels == 1 && c.ParentFraction != 0 {
+		return c, fmt.Errorf("%w: ParentFraction=%v with Levels=1", ErrBadConfig, c.ParentFraction)
+	}
+	switch c.Peering {
+	case "", PeeringNone:
+		c.Peering = PeeringNone
+	case PeeringOwner:
+	default:
+		return c, fmt.Errorf("%w: Peering=%q", ErrBadConfig, c.Peering)
+	}
+	base, err := c.Config.normalize()
+	if err != nil {
+		return c, err
+	}
+	c.Config = base
+	return c, nil
+}
+
+// RunHierarchy executes the hierarchy experiment, averaging over
+// cfg.Runs seeded runs exactly like Run (bit-identical at any
+// Parallelism).
+func RunHierarchy(cfg HierarchyConfig) (HierarchyMetrics, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return HierarchyMetrics{}, err
+	}
+	results := make([]HierarchyMetrics, cfg.Runs)
+	errs := make([]error, cfg.Runs)
+	par.For(cfg.Parallelism, cfg.Runs, func(r int) {
+		results[r], errs[r] = hierarchyRunOnce(cfg, SplitSeed(cfg.Seed, int64(r)))
+	})
+	var agg HierarchyMetrics
+	for r := 0; r < cfg.Runs; r++ {
+		if errs[r] != nil {
+			return HierarchyMetrics{}, fmt.Errorf("sim: hierarchy run %d: %w", r, errs[r])
+		}
+		m := results[r]
+		agg.Requests += m.Requests
+		agg.TrafficReductionRatio += m.TrafficReductionRatio
+		agg.EdgeByteFrac += m.EdgeByteFrac
+		agg.PeerByteFrac += m.PeerByteFrac
+		agg.ParentByteFrac += m.ParentByteFrac
+		agg.OriginByteFrac += m.OriginByteFrac
+	}
+	n := float64(cfg.Runs)
+	agg.Requests /= cfg.Runs
+	agg.TrafficReductionRatio /= n
+	agg.EdgeByteFrac /= n
+	agg.PeerByteFrac /= n
+	agg.ParentByteFrac /= n
+	agg.OriginByteFrac /= n
+	return agg, nil
+}
+
+// hierarchyRunOnce replays one seeded trace through the modeled
+// cluster. The fetch chain mirrors the live tier byte for byte:
+//
+//	edge cache -> (owner's cache, if peering and remote) ->
+//	(parent cache, if two levels) -> origin
+//
+// with each tier serving what it holds past the resume offset and the
+// remainder descending a level. A ranged relay cannot extend a cache
+// past a gap (the live PrefixStore drops non-contiguous appends and
+// post-relay reconciliation truncates the grant), which the model
+// mirrors by undoing an owner's or parent's prefix growth whenever the
+// resume offset lies beyond its stored prefix.
+func hierarchyRunOnce(cfg HierarchyConfig, seed int64) (HierarchyMetrics, error) {
+	wcfg := cfg.Workload
+	wcfg.Seed = seed
+	wl, objs, err := cfg.Arena.Workload(wcfg)
+	if err != nil {
+		return HierarchyMetrics{}, err
+	}
+
+	newPolicy := func() core.Policy {
+		if cfg.PolicyFactory != nil {
+			return cfg.PolicyFactory()
+		}
+		return cfg.Policy
+	}
+	opts := make([]core.Option, 0, len(cfg.CacheOptions)+1)
+	opts = append(opts, core.WithExpectedObjects(len(objs)))
+	opts = append(opts, cfg.CacheOptions...)
+
+	// Capacity split: the parent takes its fraction off the top, the
+	// edges split the rest evenly.
+	var parentBytes int64
+	if cfg.Levels == 2 {
+		parentBytes = int64(cfg.ParentFraction * float64(cfg.CacheBytes))
+	}
+	edgeCaps := core.SplitCapacity(cfg.CacheBytes-parentBytes, cfg.Edges)
+	if edgeCaps == nil {
+		return HierarchyMetrics{}, fmt.Errorf("%w: edge budget %d over %d edges", ErrBadConfig, cfg.CacheBytes-parentBytes, cfg.Edges)
+	}
+	edges := make([]*core.Cache, cfg.Edges)
+	for e := range edges {
+		c, err := core.New(edgeCaps[e], newPolicy(), opts...)
+		if err != nil {
+			return HierarchyMetrics{}, err
+		}
+		edges[e] = c
+	}
+	var parent *core.Cache
+	if cfg.Levels == 2 {
+		parent, err = core.New(parentBytes, newPolicy(), opts...)
+		if err != nil {
+			return HierarchyMetrics{}, err
+		}
+	}
+	var ring *cluster.Ring
+	if cfg.Peering == PeeringOwner && cfg.Edges > 1 {
+		ring, err = cluster.NewRing(cfg.Edges, cfg.VirtualNodes)
+		if err != nil {
+			return HierarchyMetrics{}, err
+		}
+	}
+
+	pathSeed := seed ^ netSeedSalt
+	means := cfg.Arena.PathMeans(cfg.Base, pathSeed, len(objs))
+
+	warm := int(cfg.WarmFraction * float64(len(wl.Requests)))
+	var (
+		m                                    HierarchyMetrics
+		edgeB, peerB, parentB, originB, totB int64
+	)
+	for i := range wl.Requests {
+		req := &wl.Requests[i]
+		obj := objs[req.ObjectID]
+		e := i % cfg.Edges
+		owner := e
+		if ring != nil {
+			owner = ring.Owner(obj.ID)
+		}
+
+		watched := obj.Size
+		if req.Fraction > 0 && req.Fraction < 1 {
+			watched = int64(req.Fraction * float64(obj.Size))
+		}
+
+		// Hop pricing: each cache's utility sees the bandwidth of the
+		// link its misses would actually travel (zero knobs fall back to
+		// the origin path mean).
+		originMean := means[obj.ID]
+		edgeEst := originMean
+		switch {
+		case owner != e && cfg.PeerBps > 0:
+			edgeEst = cfg.PeerBps
+		case cfg.Levels == 2 && cfg.ParentBps > 0:
+			edgeEst = cfg.ParentBps
+		}
+		ownerEst := originMean
+		if cfg.Levels == 2 && cfg.ParentBps > 0 {
+			ownerEst = cfg.ParentBps
+		}
+
+		// Edge hop. Local clients always resume from byte 0, so the
+		// edge's granted prefix growth always materializes.
+		res := edges[e].Access(obj, edgeEst, req.Time)
+		served := res.HitBytes
+		if served > watched {
+			served = watched
+		}
+		off := served
+		reqEdge := served
+
+		// Owner hop.
+		var reqPeer, reqParent int64
+		if off < watched && owner != e {
+			reqPeer = tierServe(edges[owner], obj, ownerEst, req.Time, off, watched)
+			off += reqPeer
+		}
+		// Parent hop.
+		if off < watched && cfg.Levels == 2 {
+			reqParent = tierServe(parent, obj, originMean, req.Time, off, watched)
+			off += reqParent
+		}
+
+		if i < warm {
+			continue
+		}
+		m.Requests++
+		edgeB += reqEdge
+		peerB += reqPeer
+		parentB += reqParent
+		originB += watched - off
+		totB += watched
+	}
+	if totB > 0 {
+		t := float64(totB)
+		m.TrafficReductionRatio = float64(totB-originB) / t
+		m.EdgeByteFrac = float64(edgeB) / t
+		m.PeerByteFrac = float64(peerB) / t
+		m.ParentByteFrac = float64(parentB) / t
+		m.OriginByteFrac = float64(originB) / t
+	}
+	return m, nil
+}
+
+// tierServe models one upper-tier cache serving a ranged resume at
+// offset off: the tier grants its policy decision, serves what it
+// holds past off (clamped to watched), and — when off lies beyond its
+// stored prefix — has its growth undone, because the live tier's
+// ranged relay starts past the gap and the PrefixStore refuses
+// non-contiguous appends (post-relay reconciliation then truncates the
+// accounting back to what was stored).
+func tierServe(c *core.Cache, obj core.Object, est, now float64, off, watched int64) int64 {
+	r := c.Access(obj, est, now)
+	if off > r.HitBytes {
+		keep := r.HitBytes
+		if r.CachedAfter < keep {
+			keep = r.CachedAfter // the policy shrank it regardless
+		}
+		c.Truncate(obj.ID, keep)
+		return 0
+	}
+	top := r.HitBytes
+	if top > watched {
+		top = watched
+	}
+	if top <= off {
+		return 0
+	}
+	return top - off
+}

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"streamcache/internal/core"
+)
+
+func hierarchyBase() HierarchyConfig {
+	return HierarchyConfig{
+		Config: Config{
+			Workload:   testWorkload(),
+			CacheBytes: cachePct(2),
+			Policy:     core.NewPB(),
+			Runs:       2,
+			Seed:       42,
+		},
+	}
+}
+
+func TestHierarchyValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*HierarchyConfig)
+	}{
+		{name: "estimators set", mutate: func(c *HierarchyConfig) { c.Estimators = EWMAEstimator(0.3) }},
+		{name: "negative edges", mutate: func(c *HierarchyConfig) { c.Edges = -2 }},
+		{name: "three levels", mutate: func(c *HierarchyConfig) { c.Levels = 3 }},
+		{name: "parent fraction one", mutate: func(c *HierarchyConfig) { c.Levels = 2; c.ParentFraction = 1 }},
+		{name: "parent fraction without parent", mutate: func(c *HierarchyConfig) { c.Levels = 1; c.ParentFraction = 0.5 }},
+		{name: "unknown peering", mutate: func(c *HierarchyConfig) { c.Peering = "gossip" }},
+		{name: "bad base config", mutate: func(c *HierarchyConfig) { c.Policy = nil }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := hierarchyBase()
+			tt.mutate(&cfg)
+			if _, err := RunHierarchy(cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+// TestHierarchySingleNodeMatchesRun pins the hierarchy model to the
+// flat simulator: one edge, one level is the same system, so the
+// traffic reduction ratio must agree bit for bit, not just within
+// tolerance. This is the sim side of the sim-vs-live cross-validation
+// triangle (the live side is cluster's TestClusterHitRatioMatchesSimulator).
+func TestHierarchySingleNodeMatchesRun(t *testing.T) {
+	cfg := hierarchyBase()
+	flat, err := Run(cfg.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := RunHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TrafficReductionRatio != flat.TrafficReductionRatio {
+		t.Errorf("hierarchy TRR %v != flat TRR %v (must be exact at 1 edge, 1 level)",
+			h.TrafficReductionRatio, flat.TrafficReductionRatio)
+	}
+	if h.Requests != flat.Requests {
+		t.Errorf("hierarchy measured %d requests, flat %d", h.Requests, flat.Requests)
+	}
+	if h.PeerByteFrac != 0 || h.ParentByteFrac != 0 {
+		t.Errorf("single node served peer=%v parent=%v bytes, want 0", h.PeerByteFrac, h.ParentByteFrac)
+	}
+	if got := h.EdgeByteFrac + h.OriginByteFrac; math.Abs(got-1) > 1e-9 {
+		t.Errorf("edge+origin fractions = %v, want 1", got)
+	}
+}
+
+// TestHierarchyTierFractionsPartition checks the byte accounting of a
+// full 2-level peered cluster: the four tier fractions partition the
+// watched bytes, every tier of the chain actually serves something,
+// and the traffic reduction ratio is 1 minus the origin share.
+func TestHierarchyTierFractionsPartition(t *testing.T) {
+	cfg := hierarchyBase()
+	cfg.Edges = 4
+	cfg.Levels = 2
+	cfg.ParentFraction = 0.5
+	cfg.Peering = PeeringOwner
+	m, err := RunHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := m.EdgeByteFrac + m.PeerByteFrac + m.ParentByteFrac + m.OriginByteFrac
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("tier fractions sum to %v, want 1", sum)
+	}
+	for name, f := range map[string]float64{
+		"edge": m.EdgeByteFrac, "peer": m.PeerByteFrac,
+		"parent": m.ParentByteFrac, "origin": m.OriginByteFrac,
+	} {
+		if f < 0 || f > 1 {
+			t.Errorf("%s fraction %v outside [0,1]", name, f)
+		}
+	}
+	if m.PeerByteFrac == 0 {
+		t.Error("owner peering served no peer bytes")
+	}
+	if m.ParentByteFrac == 0 {
+		t.Error("parent tier served no bytes")
+	}
+	if got := 1 - m.OriginByteFrac; math.Abs(got-m.TrafficReductionRatio) > 1e-9 {
+		t.Errorf("TRR %v != 1 - origin frac %v", m.TrafficReductionRatio, got)
+	}
+}
+
+// TestHierarchyPeeringConsolidatesCopies: with the cluster budget split
+// across 4 edges, owner peering must beat isolated edges — isolated
+// edges hold ~4 duplicate copies of every popular prefix, peering holds
+// ~one copy cluster-wide, so more unique bytes fit and fewer bytes
+// travel the origin path.
+func TestHierarchyPeeringConsolidatesCopies(t *testing.T) {
+	iso := hierarchyBase()
+	iso.Edges = 4
+	peered := iso
+	peered.Peering = PeeringOwner
+	mi, err := RunHierarchy(iso)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := RunHierarchy(peered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.TrafficReductionRatio <= mi.TrafficReductionRatio {
+		t.Errorf("peered TRR %v <= isolated TRR %v, want consolidation to win",
+			mp.TrafficReductionRatio, mi.TrafficReductionRatio)
+	}
+}
+
+// TestHierarchyDeterministic pins bit-identical metrics across repeat
+// runs and across Parallelism values, like the flat simulator's suite.
+func TestHierarchyDeterministic(t *testing.T) {
+	cfg := hierarchyBase()
+	cfg.Edges = 3
+	cfg.Levels = 2
+	cfg.ParentFraction = 0.3
+	cfg.Peering = PeeringOwner
+	cfg.Runs = 3
+	var got []HierarchyMetrics
+	for _, par := range []int{1, 1, 4} {
+		cfg.Parallelism = par
+		m, err := RunHierarchy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, m)
+	}
+	if got[0] != got[1] || got[0] != got[2] {
+		t.Errorf("hierarchy metrics differ across runs/parallelism: %+v vs %+v vs %+v", got[0], got[1], got[2])
+	}
+}
+
+// TestHierarchyHopPricing: pricing the peer and parent links should
+// change placement decisions for bandwidth-aware policies without
+// breaking the accounting partition.
+func TestHierarchyHopPricing(t *testing.T) {
+	cfg := hierarchyBase()
+	cfg.Edges = 4
+	cfg.Levels = 2
+	cfg.ParentFraction = 0.4
+	cfg.Peering = PeeringOwner
+	cfg.PeerBps = 10e6
+	cfg.ParentBps = 2e6
+	m, err := RunHierarchy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := m.EdgeByteFrac + m.PeerByteFrac + m.ParentByteFrac + m.OriginByteFrac
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("tier fractions sum to %v, want 1", sum)
+	}
+	if m.TrafficReductionRatio <= 0 || m.TrafficReductionRatio >= 1 {
+		t.Errorf("degenerate TRR %v under hop pricing", m.TrafficReductionRatio)
+	}
+}

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Cluster smoke (OPERATIONS.md §10): two gates over the multi-node tier.
+#
+# 1. In-process: the deterministic 3-edge + parent TestCluster smoke
+#    (verified digests on every fetch, nonzero peer-hit traffic, zero
+#    leaked relays after quiesce).
+# 2. Live: three proxyd edges peered over the consistent-hash ring
+#    (edge 0 also runs the shared origin), driven round-robin by
+#    loadgen with digest verification; the summary row must show a
+#    nonzero peer byte fraction, and every node must drain cleanly on
+#    SIGTERM.
+#
+# `make cluster-check` and the CI cluster-check job both call this.
+set -euo pipefail
+
+ORIGIN_ADDR=${ORIGIN_ADDR:-127.0.0.1:18100}
+EDGE0_ADDR=${EDGE0_ADDR:-127.0.0.1:18101}
+EDGE1_ADDR=${EDGE1_ADDR:-127.0.0.1:18102}
+EDGE2_ADDR=${EDGE2_ADDR:-127.0.0.1:18103}
+tmp=$(mktemp -d)
+pids=()
+
+cleanup() {
+    for pid in "${pids[@]}"; do
+        kill -KILL "$pid" 2>/dev/null || true
+    done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "cluster-check: in-process 3-node smoke"
+go test -run 'TestClusterSmoke' -count=1 ./internal/cluster/
+
+go build -o "$tmp/proxyd" ./cmd/proxyd
+go build -o "$tmp/loadgen" ./cmd/loadgen
+
+# Every node of one cluster must share the catalog flags and the
+# identical positional -peers list (ownership is ring-positional).
+catalog=(-objects 24 -mean-kb 64 -origin-kbps 0 -seed 1)
+peers="http://$EDGE0_ADDR,http://$EDGE1_ADDR,http://$EDGE2_ADDR"
+
+"$tmp/proxyd" -origin-addr "$ORIGIN_ADDR" -proxy-addr "$EDGE0_ADDR" \
+    "${catalog[@]}" -cache-mb 2 -policy LRU -tier edge \
+    -peers "$peers" -node-index 0 \
+    >"$tmp/edge0.log" 2>&1 &
+pids+=($!)
+for i in 1 2; do
+    addr_var="EDGE${i}_ADDR"
+    "$tmp/proxyd" -proxy-addr "${!addr_var}" -origin-url "http://$ORIGIN_ADDR" \
+        "${catalog[@]}" -cache-mb 2 -policy LRU -tier edge \
+        -peers "$peers" -node-index "$i" \
+        >"$tmp/edge$i.log" 2>&1 &
+    pids+=($!)
+done
+
+# Round-robin over the three edges, verifying every download's digest;
+# -wait polls each edge's /stats for readiness.
+"$tmp/loadgen" -proxy "$peers" -clients 6 -requests 180 \
+    -objects 24 -mean-kb 64 -catalog-seed 1 -wait 15s \
+    -verify -min-hit-ratio 0.05 -out "$tmp/loadgen.csv"
+cat "$tmp/loadgen.csv"
+
+# The peer tier must have served bytes: find the peer_byte_frac column
+# by name and require it nonzero.
+awk -F, '
+    /^#/ { next }
+    !col { for (i = 1; i <= NF; i++) if ($i == "peer_byte_frac") col = i
+           if (!col) { print "cluster-check: no peer_byte_frac column" > "/dev/stderr"; exit 1 }
+           next }
+    { if ($col + 0 <= 0) { print "cluster-check: peer byte fraction " $col " is zero" > "/dev/stderr"; exit 1 }
+      print "cluster-check: peer byte fraction " $col }
+' "$tmp/loadgen.csv"
+
+for i in 0 1 2; do
+    kill -TERM "${pids[$i]}"
+done
+drain_ok=1
+for i in 0 1 2; do
+    wait "${pids[$i]}" || drain_ok=0
+done
+pids=()
+for i in 0 1 2; do
+    if [[ "$drain_ok" != 1 ]] || ! grep -q 'drained; final stats' "$tmp/edge$i.log"; then
+        echo "cluster-check: edge $i did not drain cleanly" >&2
+        cat "$tmp/edge$i.log" >&2
+        exit 1
+    fi
+done
+echo "cluster-check: 3-node cluster served verified load with peer hits and drained cleanly"

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # End-to-end exercise of the mediavet <-> `go vet -vettool` protocol
-# (OPERATIONS.md §10). Three phases:
+# (OPERATIONS.md §11). Three phases:
 #   1. the shipped tree passes `go vet -vettool=mediavet ./...`;
 #   2. an injected wall-clock read in internal/sim fails it, and the
 #      failure names the determinism analyzer;
