@@ -5,16 +5,17 @@ SHELL := /bin/bash
 
 # Benchmarks measured by bench-json. Covers the sweep engine (memoized
 # workload arena vs the unmemoized A/B control), the run-level pool, the
-# zero-allocation cache hot path, and the sharded live proxy tier
-# (serialized shards=1 vs sharded shards=8 throughput).
-BENCH_PATTERN ?= BenchmarkSweepSequential|BenchmarkSweepParallel8|BenchmarkSweepUnmemoized|BenchmarkSimRunParallelism|BenchmarkCacheOpThroughput|BenchmarkAccess|BenchmarkWorkloadGeneration|BenchmarkProxyServe|BenchmarkRelayCoalesce
+# zero-allocation cache hot path, the sharded live proxy tier
+# (serialized shards=1 vs sharded shards=8 throughput), and the
+# shard-aware refinement scheduler (evals/shard must fall as total/N).
+BENCH_PATTERN ?= BenchmarkSweepSequential|BenchmarkSweepParallel8|BenchmarkSweepUnmemoized|BenchmarkSimRunParallelism|BenchmarkCacheOpThroughput|BenchmarkAccess|BenchmarkWorkloadGeneration|BenchmarkProxyServe|BenchmarkRelayCoalesce|BenchmarkShardedRefinedSweep
 # Override with BENCHTIME=1x for a CI smoke run; the default gives
 # stable numbers locally.
 BENCHTIME ?= 2s
 BENCH_JSON ?= BENCH.json
 BENCH_BASELINE ?=
 
-.PHONY: all ci vet lint lint-check build test race bench bench-smoke bench-json bench-gate fuzz-smoke figures docs-check shard-check proxy-check load-check cluster-check clean
+.PHONY: all ci vet lint lint-check build test race bench bench-smoke bench-json bench-gate fuzz-smoke figures docs-check shard-check collector-check proxy-check load-check cluster-check clean
 
 all: ci
 
@@ -115,6 +116,13 @@ shard-check:
 	done
 	@echo "shard-check: merged shard output is byte-identical to the single-process run"
 	rm -rf shard-check
+
+## collector-check: streaming-collector smoke — boot collectd, run the
+## sweep as 2 concurrent shards pushing rows and metrics at it, and
+## diff the collected CSVs against the single-process run
+## byte-for-byte (OPERATIONS.md §12).
+collector-check:
+	bash scripts/collector-check.sh
 
 ## proxy-check: live-tier smoke — start a sharded proxyd, run loadgen
 ## against it, assert a nonzero prefix-hit ratio and a clean SIGTERM

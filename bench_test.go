@@ -2,10 +2,13 @@ package streamcache
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"sync"
 	"testing"
+	"time"
 
+	"streamcache/internal/collect"
 	"streamcache/internal/core"
 	"streamcache/internal/experiments"
 	"streamcache/internal/units"
@@ -242,6 +245,79 @@ func BenchmarkSimRunParallelism(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkShardedRefinedSweep measures the shard-aware refinement
+// scheduler end to end: N shards run the adaptive refined-e sweep
+// concurrently against an in-process collector, exchanging per-point
+// metrics instead of each re-simulating the whole frontier. The
+// evals/shard metric is the acceptance number — it must fall as
+// total/N when the shard count grows (shards=1 is the baseline), while
+// the collected tables stay byte-identical to the single-process run.
+func BenchmarkShardedRefinedSweep(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var total int64
+			for i := 0; i < b.N; i++ {
+				total += runShardedRefinedSweep(b, shards)
+			}
+			mean := float64(total) / float64(b.N)
+			b.ReportMetric(mean/float64(shards), "evals/shard")
+			b.ReportMetric(mean, "evals/total")
+		})
+	}
+}
+
+// runShardedRefinedSweep runs one refined-e sweep split across count
+// shards coordinated by a fresh collector, returning the total
+// simulation-evaluation count across shards.
+func runShardedRefinedSweep(b *testing.B, count int) (total int64) {
+	b.Helper()
+	srv := collect.NewServer(count)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	base := benchScale()
+	base.RefineBudget = 4
+	counters := make([]experiments.Counters, count)
+	var wg sync.WaitGroup
+	errs := make([]error, count)
+	for idx := 0; idx < count; idx++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			s := base
+			s.Shard = experiments.Shard{Index: idx, Count: count}
+			s.Counters = &counters[idx]
+			client := collect.NewClient(hs.URL, s.Shard, s.RunFingerprint())
+			if client.Down() {
+				errs[idx] = fmt.Errorf("shard %d: collector down", idx)
+				return
+			}
+			s.Exchange = client
+			sink := client.Sink("refined_e_sweep")
+			if err := experiments.Stream("refined-e", s, sink); err != nil {
+				errs[idx] = err
+				return
+			}
+			errs[idx] = client.Close()
+		}(idx)
+	}
+	wg.Wait()
+	for idx, err := range errs {
+		if err != nil {
+			b.Fatalf("shard %d/%d: %v", idx, count, err)
+		}
+	}
+	select {
+	case <-srv.Done():
+	case <-time.After(30 * time.Second):
+		b.Fatal("collector never saw all shards done")
+	}
+	for i := range counters {
+		total += counters[i].Evaluations.Load()
+	}
+	return total
 }
 
 // BenchmarkScenarioMatrix regenerates the new estimator x sigma x

@@ -40,6 +40,9 @@ type Result struct {
 	NsPerOp     float64  `json:"ns_per_op"`
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds any custom b.ReportMetric columns (e.g. the
+	// sharded-refinement scheduler's evals/shard), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 	// BaselineNsPerOp and Speedup are filled when -baseline provides a
 	// matching benchmark: speedup = baseline_ns / ns.
 	BaselineNsPerOp *float64 `json:"baseline_ns_per_op,omitempty"`
@@ -64,6 +67,9 @@ var (
 		`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
 	bytesCol  = regexp.MustCompile(`([\d.]+) B/op`)
 	allocsCol = regexp.MustCompile(`([\d.]+) allocs/op`)
+	// metricCol matches every "value unit" column pair; the standard
+	// columns are filtered out when collecting custom metrics.
+	metricCol = regexp.MustCompile(`([\d.]+(?:e[+-]?\d+)?) ([^\s]+)`)
 )
 
 func main() {
@@ -156,6 +162,20 @@ func parse(r io.Reader) ([]Result, error) {
 				return nil, fmt.Errorf("bad allocs/op in %q: %w", line, err)
 			}
 			res.AllocsPerOp = &v
+		}
+		for _, mc := range metricCol.FindAllStringSubmatch(line, -1) {
+			switch mc[2] {
+			case "ns/op", "B/op", "allocs/op":
+				continue
+			}
+			v, err := strconv.ParseFloat(mc[1], 64)
+			if err != nil {
+				continue // a non-numeric column, not a metric
+			}
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[mc[2]] = v
 		}
 		results = append(results, res)
 	}

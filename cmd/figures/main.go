@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"streamcache/internal/collect"
 	"streamcache/internal/experiments"
 	"streamcache/internal/sim"
 )
@@ -61,6 +62,7 @@ var files = map[string]string{
 	"refined-e":           "refined_e_sweep.csv",
 	"refined-sigma":       "refined_sigma_sweep.csv",
 	"refined-cache":       "refined_cache_sweep.csv",
+	"refined-esigma":      "refined_esigma_sweep.csv",
 }
 
 func main() {
@@ -72,21 +74,26 @@ func main() {
 
 func run() error {
 	var (
-		out      = flag.String("out", "results", "output directory")
-		scale    = flag.String("scale", "small", "experiment scale: small or paper")
-		only     = flag.String("only", "", "comma-separated experiment keys (default: all)")
-		seed     = flag.Int64("seed", 1, "base random seed")
-		parallel = flag.Int("parallel", 0, "worker goroutines per sweep (0 = GOMAXPROCS); tables are identical for any value")
-		refine   = flag.Int("refine", -1, "extra adaptive points per refined sweep (-1 = scale default)")
-		jsonl    = flag.Bool("jsonl", false, "also stream each experiment as JSON Lines next to its CSV")
-		shard    = flag.String("shard", "", "compute only this shard of every sweep, as index/count (e.g. 0/2); output becomes per-shard JSONL for -merge")
-		journal  = flag.String("journal", "", "checkpoint completed rows to this JSONL journal")
-		resume   = flag.Bool("resume", false, "skip rows already recorded in -journal (resume an interrupted run)")
-		merge    = flag.Bool("merge", false, "merge the per-shard JSONL outputs in -out into canonical CSV (and -jsonl) files, then exit")
-		knee     = flag.String("knee", "", "locate the SLO knee in this live-capacity CSV (from loadgen -mode open), print it, then exit")
-		kneeFrac = flag.Float64("knee-threshold", 0.1, "SLO-violation fraction that defines the knee for -knee")
-		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprof  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		out         = flag.String("out", "results", "output directory")
+		scale       = flag.String("scale", "small", "experiment scale: small or paper")
+		only        = flag.String("only", "", "comma-separated experiment keys (default: all)")
+		seed        = flag.Int64("seed", 1, "base random seed")
+		parallel    = flag.Int("parallel", 0, "worker goroutines per sweep (0 = GOMAXPROCS); tables are identical for any value")
+		refine      = flag.Int("refine", -1, "extra adaptive points per refined sweep (-1 = scale default)")
+		jsonl       = flag.Bool("jsonl", false, "also stream each experiment as JSON Lines next to its CSV")
+		shard       = flag.String("shard", "", "compute only this shard of every sweep, as index/count (e.g. 0/2); output becomes per-shard JSONL for -merge")
+		journal     = flag.String("journal", "", "checkpoint completed rows to this JSONL journal")
+		resume      = flag.Bool("resume", false, "skip rows already recorded in -journal (resume an interrupted run)")
+		merge       = flag.Bool("merge", false, "merge the per-shard JSONL outputs in -out into canonical CSV (and -jsonl) files, then exit")
+		compact     = flag.Bool("compact-journal", false, "rewrite -journal to its live state (one line per completed row, superseded records dropped), then exit; pass the run's own -scale/-seed/-shard flags")
+		collectURL  = flag.String("collect", "", "push rows and refinement metrics to this collector URL (see cmd/collectd); sharded refinement then simulates only owned points per round")
+		knee        = flag.String("knee", "", "locate the SLO knee in this live-capacity CSV (from loadgen -mode open), print it, then exit")
+		kneeFrac    = flag.Float64("knee-threshold", 0.1, "SLO-violation fraction that defines the knee for -knee")
+		overlayLive = flag.String("overlay-live", "", "live CSV (loadgen output) to overlay against -overlay-sim, then exit")
+		overlaySim  = flag.String("overlay-sim", "", "sim sweep CSV to overlay against -overlay-live")
+		overlayOut  = flag.String("overlay-out", "-", "overlay CSV destination ('-' = stdout)")
+		cpuprof     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof     = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -119,11 +126,20 @@ func run() error {
 	if *knee != "" {
 		return reportKnee(*knee, *kneeFrac)
 	}
+	if *overlayLive != "" || *overlaySim != "" {
+		if *overlayLive == "" || *overlaySim == "" {
+			return fmt.Errorf("-overlay-live and -overlay-sim go together")
+		}
+		return writeOverlay(*overlayLive, *overlaySim, *overlayOut)
+	}
 	if *merge {
 		return mergeShardOutputs(*out, *jsonl)
 	}
 	if *resume && *journal == "" {
 		return fmt.Errorf("-resume needs -journal to name the checkpoint file")
+	}
+	if *compact && *journal == "" {
+		return fmt.Errorf("-compact-journal needs -journal to name the checkpoint file")
 	}
 
 	var s experiments.Scale
@@ -177,6 +193,52 @@ func run() error {
 		return err
 	}
 
+	if *compact {
+		// Standalone maintenance: rewrite the checkpoint to its live
+		// state between runs of a long sweep. The fingerprint check makes
+		// mismatched flags an error instead of a silent wipe.
+		j, err := experiments.ResumeJournal(*journal, s.Fingerprint())
+		if err != nil {
+			return err
+		}
+		before, err := os.Stat(*journal)
+		if err != nil {
+			j.Close()
+			return err
+		}
+		if err := j.Compact(); err != nil {
+			j.Close()
+			return err
+		}
+		if err := j.Close(); err != nil {
+			return err
+		}
+		after, err := os.Stat(*journal)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("compacted %s: %d -> %d bytes\n", *journal, before.Size(), after.Size())
+		return nil
+	}
+
+	var collector *collect.Client
+	if *collectURL != "" {
+		collector = collect.NewClient(*collectURL, s.Shard, s.RunFingerprint())
+		if collector.Down() {
+			// Degraded but correct: every point evaluates locally and the
+			// journal/merge workflow still reassembles the run.
+			fmt.Fprintf(os.Stderr, "figures: collector %s unreachable; continuing without it (journal and -merge still work)\n", *collectURL)
+			collector = nil
+		} else {
+			s.Exchange = collector
+			defer func() {
+				if err := collector.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "figures:", err)
+				}
+			}()
+		}
+	}
+
 	var j *experiments.Journal
 	if *journal != "" {
 		if *resume {
@@ -204,13 +266,14 @@ func run() error {
 		if file == "" {
 			file = e.Key + ".csv"
 		}
+		stem := strings.TrimSuffix(file, ".csv")
 		if s.Shard.Count > 1 {
 			// Sharded runs emit index-keyed JSONL only: CSV rows carry no
 			// index, so a shard's CSV could not be merged.
 			file = shardFileName(file, s.Shard)
 		}
 		start := time.Now()
-		name, rows, err := streamExperiment(e, s, j, filepath.Join(*out, file), *jsonl)
+		name, rows, err := streamExperiment(e, s, j, collector, stem, filepath.Join(*out, file), *jsonl)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.Key, err)
 		}
@@ -272,6 +335,51 @@ func reportKnee(path string, threshold float64) error {
 	return nil
 }
 
+// writeOverlay joins a live measurement CSV with a sim sweep CSV on
+// their shared column names and renders the source-tagged overlay
+// table — the one-file input for live-vs-sim cross-validation plots.
+func writeOverlay(livePath, simPath, outPath string) error {
+	readTable := func(path string) (*experiments.Table, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return experiments.ReadCSVTable(f)
+	}
+	live, err := readTable(livePath)
+	if err != nil {
+		return err
+	}
+	sim, err := readTable(simPath)
+	if err != nil {
+		return err
+	}
+	overlay, err := experiments.OverlayTables(live, sim)
+	if err != nil {
+		return err
+	}
+	w := io.Writer(os.Stdout)
+	if outPath != "-" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	sink := experiments.NewCSVSink(w)
+	if err := sink.Begin(experiments.TableMeta{Name: overlay.Name, Note: overlay.Note, Header: overlay.Header}); err != nil {
+		return err
+	}
+	for _, row := range overlay.Rows {
+		if err := sink.Row(row); err != nil {
+			return err
+		}
+	}
+	return sink.End()
+}
+
 // shardFileName turns figure5_x.csv into figure5_x.shard0-of-2.jsonl.
 func shardFileName(csvName string, sh experiments.Shard) string {
 	stem := strings.TrimSuffix(csvName, ".csv")
@@ -303,10 +411,11 @@ func (c *countingSink) End() error                        { return nil }
 
 // streamExperiment streams one experiment to path — canonical CSV (plus
 // an optional sibling .jsonl) when unsharded, per-shard JSONL when
-// sharded — journaling rows when j is non-nil, and returns the table
-// name and the row count this process emitted.
+// sharded — journaling rows when j is non-nil and pushing them to the
+// collector when one is connected, and returns the table name and the
+// row count this process emitted.
 func streamExperiment(e experiments.Experiment, s experiments.Scale, j *experiments.Journal,
-	path string, jsonl bool) (string, int, error) {
+	collector *collect.Client, stem, path string, jsonl bool) (string, int, error) {
 
 	out, err := os.Create(path)
 	if err != nil {
@@ -333,6 +442,9 @@ func streamExperiment(e experiments.Experiment, s experiments.Scale, j *experime
 	}
 	if j != nil {
 		sink = append(sink, experiments.NewJournalSink(j))
+	}
+	if collector != nil {
+		sink = append(sink, collector.Sink(stem))
 	}
 
 	if err := e.Stream(s, sink); err != nil {

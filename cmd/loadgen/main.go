@@ -46,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"streamcache/internal/collect"
 	"streamcache/internal/experiments"
 	"streamcache/internal/proxy"
 	"streamcache/internal/units"
@@ -91,6 +92,10 @@ type options struct {
 	sloMS       float64
 	scheduleOut string
 	dryRun      bool
+
+	// Streaming results collection (-collect).
+	collect   string
+	collector *collect.Client
 }
 
 func run() error {
@@ -122,6 +127,7 @@ func run() error {
 	flag.StringVar(&o.scheduleOut, "schedule-out", "", "open: write the generated arrival schedule (JSONL/CSV per -format)")
 	flag.StringVar(&o.perClass, "per-class", "", "open: optional per-class breakdown table destination")
 	flag.BoolVar(&o.dryRun, "dry-run", false, "open: build and emit the schedule without issuing requests")
+	flag.StringVar(&o.collect, "collect", "", "also push every emitted table to this collector URL (see cmd/collectd)")
 	flag.Parse()
 	for _, u := range strings.Split(o.proxyURL, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -130,6 +136,23 @@ func run() error {
 	}
 	if len(o.proxyURLs) == 0 {
 		return errors.New("-proxy lists no URLs")
+	}
+	if o.collect != "" {
+		// Live tables stream to the collector beside their local files; a
+		// dead collector degrades to local files only, never blocks the
+		// run. Live runs have no scale fingerprint — the empty string is
+		// the collector's wildcard.
+		o.collector = collect.NewClient(o.collect, experiments.Shard{}, "")
+		if o.collector.Down() {
+			fmt.Fprintf(os.Stderr, "loadgen: collector %s unreachable; writing local tables only\n", o.collect)
+			o.collector = nil
+		} else {
+			defer func() {
+				if err := o.collector.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "loadgen:", err)
+				}
+			}()
+		}
 	}
 	switch o.mode {
 	case "open":
@@ -384,11 +407,20 @@ func ms(d time.Duration) string {
 	return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 2, 64)
 }
 
-func newSink(o options, w io.Writer) experiments.RowSink {
+// newSink renders to w in the -format encoding; with -collect, the
+// table additionally streams to the collector under the stem (the
+// collector writes <stem>.csv when the run reports done).
+func newSink(o options, w io.Writer, stem string) experiments.RowSink {
+	var sink experiments.RowSink
 	if o.format == "jsonl" {
-		return experiments.NewJSONLSink(w)
+		sink = experiments.NewJSONLSink(w)
+	} else {
+		sink = experiments.NewCSVSink(w)
 	}
-	return experiments.NewCSVSink(w)
+	if o.collector != nil {
+		return experiments.MultiSink{sink, o.collector.Sink(stem)}
+	}
+	return sink
 }
 
 func openOut(path string) (io.Writer, func() error, error) {
@@ -421,7 +453,7 @@ func emitSummary(o options, s summary) error {
 		return err
 	}
 	defer closeOut()
-	sink := newSink(o, w)
+	sink := newSink(o, w, "loadgen_live")
 	meta := experiments.TableMeta{
 		Name: "loadgen-live",
 		Note: fmt.Sprintf("closed-loop live metrics: %d clients x %d requests against %d node(s) %s (objects=%d zipf=%.2f)",
@@ -467,7 +499,7 @@ func emitPerRequest(o options, results []result) error {
 		return err
 	}
 	defer closeOut()
-	sink := newSink(o, w)
+	sink := newSink(o, w, "loadgen_requests")
 	meta := experiments.TableMeta{
 		Name:   "loadgen-requests",
 		Note:   "one row per completed request, in trace order",

@@ -52,7 +52,7 @@ func driveOpen(o options) error {
 		return err
 	}
 	defer closeSummary()
-	summarySink := newSink(o, summaryW)
+	summarySink := newSink(o, summaryW, "live_capacity")
 	note := fmt.Sprintf("open-loop capacity sweep against %s: %d classes, horizon %gs, time-scale %g, max-inflight %d",
 		o.proxyURL, len(spec.Classes), o.duration, o.timeScale, o.maxInflight)
 	if err := summarySink.Begin(experiments.LiveCapacityMeta(note)); err != nil {
@@ -68,7 +68,7 @@ func driveOpen(o options) error {
 		}
 		closeClass = c
 		defer closeClass()
-		classSink = newSink(o, w)
+		classSink = newSink(o, w, "live_capacity_classes")
 		if err := classSink.Begin(experiments.LiveClassMeta(note)); err != nil {
 			return err
 		}
@@ -208,7 +208,7 @@ func emitSchedules(o options, spec *load.Spec, catalog *proxy.Catalog, trace []w
 		return err
 	}
 	defer closeOut()
-	sink := newSink(o, w)
+	sink := newSink(o, w, "open_schedule")
 	for li, scale := range levels {
 		items, err := load.BuildSchedule(spec, catalog, trace, sim.SplitSeed(o.traceSeed, int64(li)), o.duration, o.requests, scale)
 		if err != nil {
@@ -229,6 +229,6 @@ func emitOpenOutcomes(o options, level int, outcomes []load.Outcome) error {
 		return err
 	}
 	defer closeOut()
-	sink := newSink(o, w)
+	sink := newSink(o, w, "open_requests")
 	return load.WriteOutcomes(sink, fmt.Sprintf("open-requests-L%d", level), outcomes)
 }

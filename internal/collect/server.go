@@ -1,0 +1,484 @@
+// Package collect is the streaming results plane of sharded sweeps: an
+// HTTP collector service that shards push completed rows and refinement
+// metrics to as they finish, replacing the per-shard-files-plus-offline-
+// merge workflow with one process that holds the canonical result set
+// live. It carries two kinds of traffic:
+//
+//   - Rows. Every engine-emitted row (global index, payload, optional
+//     refinement metric) is appended to the shard's local record log and
+//     pushed in the background; the collector dedupes by (table, index)
+//     and writes the canonical CSV files once every shard reports done —
+//     byte-identical to a single-process run.
+//
+//   - Metrics. A shard refining adaptively needs the metrics of points
+//     other shards own. Client.ForeignMetric long-polls the collector,
+//     which answers as soon as the owning shard's push lands, so each
+//     shard simulates only its owned points per refinement round
+//     (O(total/N) instead of O(total) simulations per shard).
+//
+// The transport is JSONL over HTTP with per-shard sequence numbers
+// within a session: a reconnecting shard re-registers via /v1/hello and
+// replays its whole log, which the dedupe makes idempotent — a shard
+// killed mid-push resumes (engine journal replay repopulates its log)
+// with no duplicated and no lost rows. Exactness note: metrics cross
+// the wire as JSON float64 numbers, which Go round-trips bit-exactly
+// (strconv shortest representation), so refinement decisions taken on
+// fetched metrics are identical to local evaluation — the collector is
+// purely a compute optimization, never a correctness dependency, and
+// every failure mode degrades to local evaluation plus the journal.
+package collect
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"slices"
+	"strconv"
+	"sync"
+	"time"
+
+	"streamcache/internal/experiments"
+)
+
+// record is the wire grammar, one JSON object per line. It extends the
+// JSONL sink/journal line grammar ("table" and "row" records, the
+// latter with the journal's optional full-precision metric) with the
+// journal's metric-only checkpoint and a per-table output file stem.
+type record struct {
+	Type string `json:"type"` // "table" | "row" | "metric"
+
+	// "table" fields.
+	Name   string   `json:"name,omitempty"`
+	Note   string   `json:"note,omitempty"`
+	Header []string `json:"header,omitempty"`
+	File   string   `json:"file,omitempty"` // output stem, e.g. "figure5_constant_bandwidth"
+
+	// "row" and "metric" fields.
+	Table  string   `json:"table,omitempty"`
+	Index  int      `json:"index,omitempty"`
+	Row    []string `json:"row,omitempty"`
+	Metric *float64 `json:"metric,omitempty"`
+}
+
+// tableState is the collector's live copy of one table.
+type tableState struct {
+	name, note, file string
+	header           []string
+	rows             map[int][]string
+	metrics          map[int]float64 // from rows and metric-only records alike
+}
+
+// shardState tracks one shard's push session.
+type shardState struct {
+	accepted int // records accepted this session; the next expected seq
+	done     bool
+}
+
+// Server is the collector: an http.Handler accumulating pushed records
+// and answering metric long-polls. All state is in memory; the
+// canonical files are written by WriteTables once every shard is done.
+type Server struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	fingerprint string // stamped by the first hello; later hellos must match
+	expected    int    // shard count; 0 until configured or first hello
+	shards      map[int]*shardState
+	tables      map[string]*tableState
+	done        chan struct{}
+}
+
+// NewServer builds a collector expecting the given shard count
+// (0 = adopt the count announced by the first hello).
+func NewServer(expectedShards int) *Server {
+	s := &Server{
+		expected: expectedShards,
+		shards:   map[int]*shardState{},
+		tables:   map[string]*tableState{},
+		done:     make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Done is closed once every expected shard has reported done.
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// Handler returns the collector's HTTP interface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/hello", s.handleHello)
+	mux.HandleFunc("POST /v1/push", s.handlePush)
+	mux.HandleFunc("POST /v1/done", s.handleDone)
+	mux.HandleFunc("GET /v1/metric", s.handleMetric)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	return mux
+}
+
+func intParam(r *http.Request, name string) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, fmt.Errorf("missing %s", name)
+	}
+	return strconv.Atoi(v)
+}
+
+// handleHello registers (or re-registers) a shard, resetting its push
+// session so a reconnect replays its record log from sequence zero.
+func (s *Server) handleHello(w http.ResponseWriter, r *http.Request) {
+	shard, err := intParam(r, "shard")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	count, err := intParam(r, "count")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fp := r.URL.Query().Get("fingerprint")
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.expected == 0 {
+		s.expected = count
+	}
+	if count != s.expected {
+		http.Error(w, fmt.Sprintf("collector expects %d shards, shard announced %d", s.expected, count), http.StatusConflict)
+		return
+	}
+	if shard < 0 || shard >= s.expected {
+		http.Error(w, fmt.Sprintf("shard %d out of range 0..%d", shard, s.expected-1), http.StatusBadRequest)
+		return
+	}
+	if s.fingerprint == "" {
+		s.fingerprint = fp
+	}
+	// The empty fingerprint is a wildcard: live producers (loadgen) have
+	// no sweep scale. Non-empty fingerprints must agree — mixing scales
+	// would silently interleave incompatible sweeps.
+	if fp != "" && fp != s.fingerprint {
+		http.Error(w, fmt.Sprintf("collector holds fingerprint %q, shard sent %q", s.fingerprint, fp), http.StatusConflict)
+		return
+	}
+	s.shards[shard] = &shardState{}
+	w.WriteHeader(http.StatusOK)
+}
+
+// handlePush accepts a batch of JSONL records at the shard's next
+// sequence number. Batches at or below the accepted sequence replay
+// records the dedupe already holds (idempotent); a batch beyond it
+// means lost traffic, answered with 409 so the client re-hellos and
+// replays its whole log.
+func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	shard, err := intParam(r, "shard")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	seq, err := intParam(r, "seq")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var recs []record
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			http.Error(w, fmt.Sprintf("corrupt record: %v", err), http.StatusBadRequest)
+			return
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss := s.shards[shard]
+	if ss == nil {
+		http.Error(w, "unknown shard: hello first", http.StatusConflict)
+		return
+	}
+	if seq > ss.accepted {
+		http.Error(w, fmt.Sprintf("sequence gap: got %d, accepted %d", seq, ss.accepted), http.StatusConflict)
+		return
+	}
+	for _, rec := range recs {
+		if err := s.apply(rec); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+	}
+	if end := seq + len(recs); end > ss.accepted {
+		ss.accepted = end
+	}
+	s.cond.Broadcast()
+	w.WriteHeader(http.StatusOK)
+}
+
+// apply folds one record into the live table set. Callers hold s.mu.
+// Replayed records are recognized by key and skipped, which is what
+// makes whole-log replay after a reconnect safe.
+func (s *Server) apply(rec record) error {
+	switch rec.Type {
+	case "table":
+		t := s.tables[rec.Name]
+		if t == nil {
+			t = &tableState{name: rec.Name, rows: map[int][]string{}, metrics: map[int]float64{}}
+			s.tables[rec.Name] = t
+		}
+		if t.header != nil && !slices.Equal(t.header, rec.Header) {
+			return fmt.Errorf("table %q re-declared with a different header", rec.Name)
+		}
+		t.header, t.note = rec.Header, rec.Note
+		if rec.File != "" {
+			t.file = rec.File
+		}
+		return nil
+	case "row":
+		t := s.tables[rec.Table]
+		if t == nil {
+			return fmt.Errorf("row for undeclared table %q", rec.Table)
+		}
+		if _, ok := t.rows[rec.Index]; !ok {
+			t.rows[rec.Index] = rec.Row
+			if rec.Metric != nil {
+				t.metrics[rec.Index] = *rec.Metric
+			}
+		}
+		return nil
+	case "metric":
+		t := s.tables[rec.Table]
+		if t == nil {
+			return fmt.Errorf("metric for undeclared table %q", rec.Table)
+		}
+		if _, ok := t.metrics[rec.Index]; !ok {
+			t.metrics[rec.Index] = *rec.Metric
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown record type %q", rec.Type)
+	}
+}
+
+// handleDone marks a shard finished; when the last expected shard
+// reports, Done() closes.
+func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
+	shard, err := intParam(r, "shard")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss := s.shards[shard]
+	if ss == nil {
+		http.Error(w, "unknown shard: hello first", http.StatusConflict)
+		return
+	}
+	ss.done = true
+	if s.expected > 0 && len(s.shards) == s.expected {
+		all := true
+		for _, st := range s.shards {
+			all = all && st.done
+		}
+		if all {
+			select {
+			case <-s.done:
+			default:
+				close(s.done)
+			}
+		}
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleMetric answers one metric long-poll: it blocks up to wait_ms
+// for the keyed metric to arrive (from the owning shard's push),
+// returning 204 on timeout. The requesting shard falls back to local
+// evaluation on timeout, so a slow or dead peer costs time, never
+// correctness.
+func (s *Server) handleMetric(w http.ResponseWriter, r *http.Request) {
+	table := r.URL.Query().Get("table")
+	index, err := intParam(r, "index")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	waitMS, _ := strconv.Atoi(r.URL.Query().Get("wait_ms"))
+	if waitMS < 0 {
+		waitMS = 0
+	}
+	if waitMS > 30_000 {
+		waitMS = 30_000
+	}
+	m, ok := s.waitMetric(table, index, time.Duration(waitMS)*time.Millisecond)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Metric float64 `json:"metric"`
+	}{m})
+}
+
+// waitMetric blocks until the metric at (table, index) is known or wait
+// elapses.
+func (s *Server) waitMetric(table string, index int, wait time.Duration) (float64, bool) {
+	deadline := time.Now().Add(wait)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if t := s.tables[table]; t != nil {
+			if m, ok := t.metrics[index]; ok {
+				return m, true
+			}
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return 0, false
+		}
+		timer := time.AfterFunc(remaining, s.cond.Broadcast)
+		s.cond.Wait()
+		timer.Stop()
+	}
+}
+
+// statusTable is one table's live summary in /v1/status.
+type statusTable struct {
+	Name string `json:"name"`
+	File string `json:"file,omitempty"`
+	Rows int    `json:"rows"`
+	Gaps int    `json:"gaps"` // indexes missing below the highest seen
+}
+
+// handleStatus reports shard sessions and per-table progress.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	type shardStatus struct {
+		Shard    int  `json:"shard"`
+		Accepted int  `json:"accepted"`
+		Done     bool `json:"done"`
+	}
+	var out struct {
+		Expected int           `json:"expected_shards"`
+		Shards   []shardStatus `json:"shards"`
+		Tables   []statusTable `json:"tables"`
+	}
+	out.Expected = s.expected
+	for i, ss := range s.shards {
+		out.Shards = append(out.Shards, shardStatus{Shard: i, Accepted: ss.accepted, Done: ss.done})
+	}
+	for _, t := range s.tables {
+		st := statusTable{Name: t.name, File: t.file, Rows: len(t.rows)}
+		max := -1
+		for i := range t.rows {
+			if i > max {
+				max = i
+			}
+		}
+		st.Gaps = max + 1 - len(t.rows)
+		out.Tables = append(out.Tables, st)
+	}
+	s.mu.Unlock()
+	slices.SortFunc(out.Shards, func(a, b shardStatus) int { return a.Shard - b.Shard })
+	slices.SortFunc(out.Tables, func(a, b statusTable) int {
+		if a.Name < b.Name {
+			return -1
+		}
+		if a.Name > b.Name {
+			return 1
+		}
+		return 0
+	})
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// WriteTables renders every collected table to dir as its canonical CSV
+// — the same preamble, header, and index-ordered rows a single-process
+// sweep streams, so the bytes are identical. A table with index gaps
+// (a shard shed rows or never finished) is refused, not silently
+// truncated: the caller falls back to the per-shard-journal merge.
+func (s *Server) WriteTables(dir string) error {
+	s.mu.Lock()
+	ready := s.expected > 0 && len(s.shards) == s.expected
+	for _, ss := range s.shards {
+		ready = ready && ss.done
+	}
+	if !ready {
+		// A shard that shed rows never reports done (its Close errors),
+		// and its missing tail is a contiguous prefix cut — invisible to
+		// the per-table gap check below — so done-ness is the gate.
+		s.mu.Unlock()
+		return fmt.Errorf("collect: not every shard has reported done; refusing to write partial tables")
+	}
+	names := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	s.mu.Unlock()
+
+	for _, name := range names {
+		s.mu.Lock()
+		t := s.tables[name]
+		idxs := make([]int, 0, len(t.rows))
+		for i := range t.rows {
+			idxs = append(idxs, i)
+		}
+		slices.Sort(idxs)
+		for want, got := range idxs {
+			if got != want {
+				s.mu.Unlock()
+				return fmt.Errorf("collect: table %q is missing row %d (holds %d rows): incomplete push, merge the shard journals instead",
+					name, want, len(idxs))
+			}
+		}
+		rows := make([][]string, len(idxs))
+		for i, idx := range idxs {
+			rows[i] = t.rows[idx]
+		}
+		meta := experiments.TableMeta{Name: t.name, Note: t.note, Header: t.header}
+		file := t.file
+		s.mu.Unlock()
+
+		if file == "" {
+			return fmt.Errorf("collect: table %q was declared without an output file stem", name)
+		}
+		f, err := os.Create(filepath.Join(dir, file+".csv"))
+		if err != nil {
+			return err
+		}
+		sink := experiments.NewCSVSink(f)
+		if err := sink.Begin(meta); err != nil {
+			f.Close()
+			return err
+		}
+		for _, row := range rows {
+			if err := sink.Row(row); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := sink.End(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -38,19 +38,64 @@ type emitted struct {
 }
 
 // exec is the execution context of one streamed run: the worker bound,
-// the shard of the row space this process owns, and the resume journal
-// whose completed rows are replayed instead of recomputed.
+// the shard of the row space this process owns, the resume journal
+// whose completed rows are replayed instead of recomputed, the metric
+// exchange resolving foreign refinement metrics, and the write-side
+// journal that checkpoints fetched foreign metrics alongside rows.
 type exec struct {
 	parallelism int
 	shard       Shard
 	resume      *Journal
 	table       string // table name, the journal key prefix
+	exchange    MetricExchange
+	counters    *Counters
+	journal     *Journal // write side (nil when the run is unjournaled)
 }
 
 // replay looks up a completed row for the global index in the resume
 // journal (nil-safe: no journal, no replays).
 func (x exec) replay(index int) (journalRow, bool) {
 	return x.resume.replay(x.table, index)
+}
+
+// replayMetric looks up a checkpointed metric (row or metric record)
+// for the global index in the resume journal.
+func (x exec) replayMetric(index int) (float64, bool) {
+	return x.resume.replayMetric(x.table, index)
+}
+
+// evaluated counts one locally simulated sweep point.
+func (x exec) evaluated() {
+	if x.counters != nil {
+		x.counters.Evaluations.Add(1)
+	}
+}
+
+// foreignMetric resolves the refinement metric of a point owned by
+// another shard without simulating it: first the resume journal (a
+// prior run already fetched or computed it), then the exchange. A hit
+// from the exchange is checkpointed so a crash-resume does not depend
+// on the collector still being reachable.
+func (x exec) foreignMetric(index int) (float64, bool) {
+	if m, ok := x.replayMetric(index); ok {
+		return m, true
+	}
+	if x.exchange == nil {
+		return 0, false
+	}
+	m, ok := x.exchange.ForeignMetric(x.table, index)
+	if !ok {
+		return 0, false
+	}
+	if x.counters != nil {
+		x.counters.ExchangeHits.Add(1)
+	}
+	if x.journal != nil {
+		// Best-effort checkpoint: a write failure surfaces on the row
+		// path, not here (the metric is already in hand).
+		_ = x.journal.recordMetric(x.table, index, m)
+	}
+	return m, true
 }
 
 // runner produces one experiment's rows, streaming them through emit in
@@ -120,6 +165,7 @@ func (t *taskSweep) run(x exec, emit func(e emitted) error) error {
 		if r, ok := x.replay(g); ok {
 			return emitted{index: g, row: r.row}, nil
 		}
+		x.evaluated()
 		row, err := t.tasks[g]()
 		return emitted{index: g, row: row}, err
 	}, func(_ int, e emitted) error { return emit(e) })
@@ -226,11 +272,36 @@ func stream(s Scale, r runner, sink RowSink) error {
 	if err := sink.Begin(meta); err != nil {
 		return err
 	}
-	x := exec{parallelism: s.parallelism(), shard: s.Shard, resume: s.Resume, table: meta.Name}
+	x := exec{
+		parallelism: s.parallelism(),
+		shard:       s.Shard,
+		resume:      s.Resume,
+		table:       meta.Name,
+		exchange:    s.Exchange,
+		counters:    s.Counters,
+		journal:     findJournal(sink),
+	}
 	if err := r.run(x, func(e emitted) error { return sinkEmit(sink, e) }); err != nil {
 		return err
 	}
 	return sink.End()
+}
+
+// findJournal locates the checkpoint journal inside a (possibly nested)
+// sink fan-out, so the engine can record fetched foreign metrics next
+// to the rows the JournalSink already checkpoints.
+func findJournal(sink RowSink) *Journal {
+	switch t := sink.(type) {
+	case *JournalSink:
+		return t.j
+	case MultiSink:
+		for _, s := range t {
+			if j := findJournal(s); j != nil {
+				return j
+			}
+		}
+	}
+	return nil
 }
 
 // tableOf materializes a runner builder into the in-memory Table of the
@@ -299,6 +370,7 @@ func Experiments() []Experiment {
 		{"refined-e", refinedESweepRunner},
 		{"refined-sigma", refinedSigmaSweepRunner},
 		{"refined-cache", refinedCacheSweepRunner},
+		{"refined-esigma", refinedESigmaSweepRunner},
 		{"hierarchy", hierarchyRunner},
 	}
 }

@@ -67,6 +67,18 @@ type Scale struct {
 	// ResumeJournal and also attach it as a JournalSink so fresh rows
 	// keep checkpointing. Nil disables resumption.
 	Resume *Journal
+	// Exchange, when non-nil, lets a sharded adaptive sweep resolve the
+	// refinement metrics of foreign points (owned by other shards)
+	// instead of re-simulating them, so each shard runs O(total/N)
+	// simulations per refined sweep. A metric the exchange cannot
+	// produce is evaluated locally — the determinism contract makes the
+	// result identical either way, so Exchange is deliberately excluded
+	// from Fingerprint: it cannot change any row.
+	Exchange MetricExchange
+	// Counters, when non-nil, accumulates scheduler telemetry (points
+	// actually simulated, exchange hits) for this process. Excluded
+	// from Fingerprint: observation only.
+	Counters *Counters
 	// Arena, when non-nil, is shared by every experiment run at this
 	// scale, so sizing workloads, full request traces, and synthetic
 	// logs are generated once per distinct config across the whole
@@ -138,6 +150,16 @@ func (s Scale) Fingerprint() string {
 		s.Objects, s.Requests, s.Runs, s.Seed, s.CacheFractions, s.AlphaSweep,
 		s.ESweep, s.SigmaSweep, s.TraceEntries, s.TraceServers,
 		s.RefineBudget, s.NoWorkloadReuse, s.Shard)
+}
+
+// RunFingerprint is Fingerprint with the shard identity erased: the
+// identity of the whole distributed run, shared by all of its shards.
+// The collector session is stamped with it — shards of different runs
+// cannot mix — while each shard's journal keeps the shard-specific
+// Fingerprint.
+func (s Scale) RunFingerprint() string {
+	s.Shard = Shard{}
+	return s.Fingerprint()
 }
 
 func (s Scale) workload() workload.Config {

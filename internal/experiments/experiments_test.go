@@ -181,8 +181,8 @@ func TestAllProducesEveryTable(t *testing.T) {
 	if len(tables) != len(Experiments()) {
 		t.Fatalf("All produced %d tables, want %d", len(tables), len(Experiments()))
 	}
-	if len(tables) != 23 {
-		t.Fatalf("All produced %d tables, want 23 (paper suite + ablations + extensions + scenarios + refined + hierarchy)", len(tables))
+	if len(tables) != 24 {
+		t.Fatalf("All produced %d tables, want 24 (paper suite + ablations + extensions + scenarios + refined incl. 2-D + hierarchy)", len(tables))
 	}
 	seen := map[string]bool{}
 	for _, tbl := range tables {

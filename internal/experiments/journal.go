@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
 	"sync"
 )
 
@@ -37,11 +38,15 @@ type journalRow struct {
 
 // journalTable is the completed-row set of one table. next is one past
 // the highest recorded index, maintained on every insert so direct
-// (non-engine) Row appends stay O(1).
+// (non-engine) Row appends stay O(1). metrics holds metric-only
+// checkpoints: refinement metrics of foreign points fetched through the
+// exchange, recorded so a resume does not depend on the collector.
 type journalTable struct {
-	header []string
-	rows   map[int]journalRow
-	next   int
+	header  []string
+	note    string
+	rows    map[int]journalRow
+	metrics map[int]float64
+	next    int
 }
 
 // journalHeaderRecord is the first line of a journal: the scale
@@ -60,6 +65,16 @@ type journalRowRecord struct {
 	Index  int      `json:"index"`
 	Row    []string `json:"row"`
 	Metric *float64 `json:"metric,omitempty"`
+}
+
+// journalMetricRecord checkpoints the refinement metric of a point this
+// shard does not own (fetched through the MetricExchange): no row to
+// emit, but the metric keeps a resumed refinement off the network.
+type journalMetricRecord struct {
+	Type   string  `json:"type"` // "metric"
+	Table  string  `json:"table"`
+	Index  int     `json:"index"`
+	Metric float64 `json:"metric"`
 }
 
 // Journal is the checkpoint store of one sweep process: the in-memory
@@ -179,7 +194,15 @@ func (j *Journal) apply(line []byte) error {
 		if err := json.Unmarshal(line, &t); err != nil {
 			return err
 		}
-		j.table(t.Name).header = t.Header
+		tab := j.table(t.Name)
+		tab.header = t.Header
+		tab.note = t.Note
+	case "metric":
+		var m journalMetricRecord
+		if err := json.Unmarshal(line, &m); err != nil {
+			return err
+		}
+		j.table(m.Table).metrics[m.Index] = m.Metric
 	case "row":
 		var r journalRowRecord
 		if err := json.Unmarshal(line, &r); err != nil {
@@ -205,7 +228,7 @@ func (j *Journal) apply(line []byte) error {
 func (j *Journal) table(name string) *journalTable {
 	t := j.tables[name]
 	if t == nil {
-		t = &journalTable{rows: map[int]journalRow{}}
+		t = &journalTable{rows: map[int]journalRow{}, metrics: map[int]float64{}}
 		j.tables[name] = t
 	}
 	return t
@@ -243,6 +266,42 @@ func (j *Journal) replay(tableName string, index int) (journalRow, bool) {
 	return r, ok
 }
 
+// replayMetric looks up a checkpointed refinement metric at
+// (tableName, index): an owned row's recorded metric, or a metric-only
+// record fetched from the exchange by a prior run. Nil-safe.
+func (j *Journal) replayMetric(tableName string, index int) (float64, bool) {
+	if j == nil {
+		return 0, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	t := j.tables[tableName]
+	if t == nil {
+		return 0, false
+	}
+	if r, ok := t.rows[index]; ok && r.hasMetric {
+		return r.metric, true
+	}
+	m, ok := t.metrics[index]
+	return m, ok
+}
+
+// recordMetric checkpoints a foreign point's refinement metric. Metrics
+// already present (from either record kind) are not rewritten.
+func (j *Journal) recordMetric(tableName string, index int, metric float64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	t := j.table(tableName)
+	if r, ok := t.rows[index]; ok && r.hasMetric {
+		return nil
+	}
+	if _, ok := t.metrics[index]; ok {
+		return nil
+	}
+	t.metrics[index] = metric
+	return j.writeLine(journalMetricRecord{Type: "metric", Table: tableName, Index: index, Metric: metric})
+}
+
 // CompletedRows reports how many rows the journal holds for the named
 // table — what a resume will skip.
 func (j *Journal) CompletedRows(tableName string) int {
@@ -266,7 +325,9 @@ func (j *Journal) beginTable(meta TableMeta) error {
 	if t := j.tables[meta.Name]; t != nil && t.header != nil {
 		return nil // resumed table already declared in the prior run
 	}
-	j.table(meta.Name).header = meta.Header
+	t := j.table(meta.Name)
+	t.header = meta.Header
+	t.note = meta.Note
 	return j.writeLine(jsonlTableRecord{Type: "table", Name: meta.Name, Note: meta.Note, Header: meta.Header})
 }
 
@@ -305,6 +366,125 @@ func (j *Journal) recordNext(tableName string, row []string) error {
 	t.rows[next] = journalRow{row: row}
 	t.next = next + 1
 	return j.writeLine(journalRowRecord{Type: "row", Table: tableName, Index: next, Row: row})
+}
+
+// Compact rewrites the journal file to exactly its live state — one
+// fingerprint stamp, then per table (sorted by name) the table record,
+// its rows in index order, and any metric-only checkpoints not
+// superseded by a row — dropping everything else: lines trimmed as
+// partial on load, duplicate declarations from concatenated journals,
+// and superseded metric records. Very long refined sweeps accumulate
+// journal lines linearly in completed points; compacting between runs
+// bounds what a resume (or a collector replay) must parse.
+//
+// The rewrite is atomic: records are written to a sibling
+// <path>.compact file which is renamed over the journal only once
+// complete, so a crash mid-compaction leaves either the original or
+// the fully compacted file — never a hybrid — and a resume against
+// either yields byte-identical sweep output. A stale .compact file
+// from a crashed compaction is simply overwritten next time.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("experiments: compact of a read-only journal")
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	path := j.f.Name()
+	tmpPath := path + ".compact"
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(tmp)
+	writeRec := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(append(b, '\n'))
+		return err
+	}
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := writeRec(journalHeaderRecord{Type: "journal", Fingerprint: j.fingerprint}); err != nil {
+		return fail(err)
+	}
+	names := make([]string, 0, len(j.tables))
+	for name := range j.tables {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	for _, name := range names {
+		t := j.tables[name]
+		if t.header != nil {
+			if err := writeRec(jsonlTableRecord{Type: "table", Name: name, Note: t.note, Header: t.header}); err != nil {
+				return fail(err)
+			}
+		}
+		idxs := make([]int, 0, len(t.rows))
+		for i := range t.rows {
+			idxs = append(idxs, i)
+		}
+		slices.Sort(idxs)
+		for _, i := range idxs {
+			r := t.rows[i]
+			rec := journalRowRecord{Type: "row", Table: name, Index: i, Row: r.row}
+			if r.hasMetric {
+				m := r.metric
+				rec.Metric = &m
+			}
+			if err := writeRec(rec); err != nil {
+				return fail(err)
+			}
+		}
+		midxs := make([]int, 0, len(t.metrics))
+		for i := range t.metrics {
+			if _, owned := t.rows[i]; owned {
+				continue // superseded by the row's own metric
+			}
+			midxs = append(midxs, i)
+		}
+		slices.Sort(midxs)
+		for _, i := range midxs {
+			if err := writeRec(journalMetricRecord{Type: "metric", Table: name, Index: i, Metric: t.metrics[i]}); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(err)
+	}
+	// The commit point: before the rename a resume reads the original
+	// journal, after it the compacted one; both describe the same rows.
+	if err := os.Rename(tmpPath, path); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	old := j.f
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The compacted file is in place but unappendable; surface the
+		// error and leave the journal closed for writes.
+		old.Close()
+		j.f, j.w = nil, nil
+		return err
+	}
+	old.Close()
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	return nil
 }
 
 // Close flushes and closes the underlying file.

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OverlayTables joins a live measurement table (a loadgen capacity or
+// summary CSV) with the matching simulator sweep into one plottable
+// table: the columns the two share by name, in the live table's order,
+// with a leading "source" column tagging each row "live" or "sim".
+// Plotting the overlay CSV directly answers the cross-validation
+// question — do the live proxy's measured curves track the simulator's
+// predictions over the shared axes — without hand-aligning two files.
+//
+// Only shared columns survive the join; columns unique to either side
+// are dropped (they have no counterpart to overlay against). Joining
+// tables with no shared column names is an error, not an empty table.
+func OverlayTables(live, sim *Table) (*Table, error) {
+	simCol := map[string]int{}
+	for i, h := range sim.Header {
+		if _, dup := simCol[h]; !dup {
+			simCol[h] = i
+		}
+	}
+	type pair struct{ liveIdx, simIdx int }
+	shared := []string{}
+	cols := []pair{}
+	for i, h := range live.Header {
+		if j, ok := simCol[h]; ok {
+			shared = append(shared, h)
+			cols = append(cols, pair{liveIdx: i, simIdx: j})
+		}
+	}
+	if len(shared) == 0 {
+		return nil, fmt.Errorf("experiments: overlay: no shared columns between live (%s) and sim (%s)",
+			strings.Join(live.Header, ","), strings.Join(sim.Header, ","))
+	}
+
+	out := &Table{
+		Name:   "live-vs-sim overlay",
+		Note:   fmt.Sprintf("shared columns of %q (live) and %q (sim); source tags each row", live.Name, sim.Name),
+		Header: append([]string{"source"}, shared...),
+	}
+	project := func(source string, rows [][]string, idx func(pair) int) {
+		for _, row := range rows {
+			outRow := make([]string, 0, len(shared)+1)
+			outRow = append(outRow, source)
+			for _, c := range cols {
+				i := idx(c)
+				if i < len(row) {
+					outRow = append(outRow, row[i])
+				} else {
+					outRow = append(outRow, "")
+				}
+			}
+			out.Rows = append(out.Rows, outRow)
+		}
+	}
+	project("live", live.Rows, func(c pair) int { return c.liveIdx })
+	project("sim", sim.Rows, func(c pair) int { return c.simIdx })
+	return out, nil
+}

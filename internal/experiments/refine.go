@@ -62,53 +62,100 @@ type axisPoint struct {
 	metric float64
 }
 
-// evalOrdered evaluates the given axis values over the worker pool,
-// emitting each row (tagged with source) in slice order and returning
-// the completed points. Global row indices are base..base+len(xs)-1 in
-// slice order. Every point is evaluated regardless of shard ownership —
-// refinement decisions need the full metric curve — but only owned rows
-// are emitted, and points whose row (with metric) is in the resume
-// journal are replayed instead of simulated. Fail-fast semantics match
-// streamTasks.
-func (a *adaptiveSweep) evalOrdered(x exec, xs []float64, base int, source string,
-	emit func(e emitted) error) ([]axisPoint, error) {
+// evalRound evaluates one refinement round's points (global indices
+// base..base+n-1) over the worker pool, emitting each owned row (tagged
+// with source) in index order and returning every point's metric in
+// index order — the full curve the next refinement decision needs.
+//
+// Scheduling is shard-aware: a shard simulates its owned points
+// (replaying rows-with-metrics from the resume journal when present)
+// and resolves foreign points without simulating them — first from
+// journaled metric checkpoints, then through the MetricExchange. Only
+// when both miss (no exchange configured, collector down, owner dead)
+// does a shard fall back to simulating a foreign point locally; the
+// determinism contract makes the fallback metric bit-identical to the
+// owner's, so the refined point set and the emitted rows never depend
+// on which path produced a metric — the exchange purely removes the
+// N-fold duplicate compute. Fail-fast semantics match streamTasks.
+func evalRound(x exec, n, base int,
+	point func(i, innerParallelism int) (row []string, metric float64, err error),
+	source string, emit func(e emitted) error) ([]float64, error) {
 
 	type eval struct {
 		row    []string
 		metric float64
+		owned  bool
 	}
 	// Split the worker budget between the outer point pool and each
-	// point's inner pool so a phase with few in-flight points (a
-	// refinement round) still keeps the cores busy, while a wide phase
-	// (the coarse pass) does not oversubscribe them P x P.
+	// point's inner pool so a phase with few locally evaluated points (a
+	// refinement round, or an exchange-served shard's slice of the
+	// coarse pass) still keeps the cores busy, while a wide phase does
+	// not oversubscribe them P x P. Pure scheduling: rows are identical
+	// for any split.
+	local := n
+	if x.exchange != nil && x.shard.enabled() {
+		local = 0
+		for g := base; g < base+n; g++ {
+			if x.shard.owns(g) {
+				local++
+			}
+		}
+	}
 	inner := 1
-	if len(xs) > 0 {
-		if inner = x.parallelism / len(xs); inner < 1 {
+	if local > 0 {
+		if inner = x.parallelism / local; inner < 1 {
 			inner = 1
 		}
 	}
-	pts := make([]axisPoint, 0, len(xs))
-	err := streamOrdered(x.parallelism, len(xs), func(i int) (eval, error) {
-		// Journaled rows carry the rendered payload (source cell
-		// included) and the exact metric; nothing to recompute. Only
-		// owned rows are journaled, so foreign points re-simulate.
-		if r, ok := x.replay(base + i); ok && r.hasMetric {
-			return eval{row: r.row, metric: r.metric}, nil
+	metrics := make([]float64, 0, n)
+	err := streamOrdered(x.parallelism, n, func(i int) (eval, error) {
+		g := base + i
+		owned := x.shard.owns(g)
+		if owned {
+			// Journaled rows carry the rendered payload (source cell
+			// included) and the exact metric; nothing to recompute.
+			if r, ok := x.replay(g); ok && r.hasMetric {
+				return eval{row: r.row, metric: r.metric, owned: true}, nil
+			}
+		} else if m, ok := x.foreignMetric(g); ok {
+			return eval{metric: m}, nil
 		}
-		row, metric, err := a.point(xs[i], inner)
-		return eval{row: append(row, source), metric: metric}, err
+		x.evaluated()
+		row, metric, err := point(i, inner)
+		if err != nil {
+			return eval{}, err
+		}
+		return eval{row: append(row, source), metric: metric, owned: owned}, nil
 	}, func(i int, v eval) error {
-		if x.shard.owns(base + i) {
+		if v.owned {
 			e := emitted{index: base + i, row: v.row, metric: v.metric, hasMetric: true}
 			if err := emit(e); err != nil {
 				return err
 			}
 		}
-		pts = append(pts, axisPoint{x: xs[i], metric: v.metric})
+		metrics = append(metrics, v.metric)
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	return metrics, nil
+}
+
+// evalOrdered evaluates the given axis values through evalRound,
+// pairing each returned metric with its axis position.
+func (a *adaptiveSweep) evalOrdered(x exec, xs []float64, base int, source string,
+	emit func(e emitted) error) ([]axisPoint, error) {
+
+	metrics, err := evalRound(x, len(xs), base, func(i, inner int) ([]string, float64, error) {
+		return a.point(xs[i], inner)
+	}, source, emit)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]axisPoint, len(xs))
+	for i, m := range metrics {
+		pts[i] = axisPoint{x: xs[i], metric: m}
 	}
 	return pts, nil
 }

@@ -85,7 +85,7 @@ func shardJSONL(t *testing.T, key string, s Scale, sh Shard) []byte {
 // sweep (refined-e), whose refinement decisions must not depend on
 // which shard emits which row.
 func TestShardUnionByteIdentical(t *testing.T) {
-	for _, key := range []string{"figure5", "scenarios", "refined-e"} {
+	for _, key := range []string{"figure5", "scenarios", "refined-e", "refined-esigma"} {
 		t.Run(key, func(t *testing.T) {
 			base := tinyScale()
 			base.RefineBudget = 3

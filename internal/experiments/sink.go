@@ -50,7 +50,30 @@ type IndexedSink interface {
 	IndexedRow(index int, row []string) error
 }
 
-// engineSink is the in-package superset of IndexedSink: the journal
+// MetricRow is the full engine-side view of one emitted row: the global
+// index and payload of IndexedSink plus the refinement metric of
+// adaptive-sweep rows (HasMetric false for fixed-grid rows). It is the
+// unit the streaming results plane (internal/collect) ships between
+// shards: the metric must survive transport at full float64 precision
+// so a foreign shard's refinement decisions are bit-identical to local
+// evaluation.
+type MetricRow struct {
+	Index     int
+	Row       []string
+	Metric    float64
+	HasMetric bool
+}
+
+// MetricSink is the richest exported RowSink extension: sinks that
+// implement it receive each engine-emitted row with its global index
+// and refinement metric. The engine prefers MetricRow over IndexedRow
+// over Row.
+type MetricSink interface {
+	RowSink
+	MetricRow(m MetricRow) error
+}
+
+// engineSink is the in-package superset of MetricSink: the journal
 // additionally records the refinement metric of adaptive-sweep rows.
 type engineSink interface {
 	emitRow(e emitted) error
@@ -62,6 +85,8 @@ func sinkEmit(sink RowSink, e emitted) error {
 	switch t := sink.(type) {
 	case engineSink:
 		return t.emitRow(e)
+	case MetricSink:
+		return t.MetricRow(MetricRow{Index: e.index, Row: e.row, Metric: e.metric, HasMetric: e.hasMetric})
 	case IndexedSink:
 		return t.IndexedRow(e.index, e.row)
 	default:
